@@ -1,0 +1,100 @@
+// Ablation: the penalty function I(f). The paper uses I(f) = f for its
+// evaluation (penalty proportional to corruption losses) and notes that
+// I should reflect how loss rate degrades application performance
+// [27, 36]. This bench re-runs the optimizer on identical contended
+// instances under three penalty shapes and shows where the chosen
+// disable sets diverge: a linear I spends scarce capacity on raw loss
+// volume, a TCP-shaped I (Mathis 1/sqrt(p)) weights many moderate losers
+// closer to one heavy one, and a step I only cares about SLA violators.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "corropt/optimizer.h"
+#include "topology/fat_tree.h"
+
+namespace {
+
+using namespace corropt;
+
+struct Shape {
+  const char* name;
+  core::PenaltyFunction penalty;
+};
+
+}  // namespace
+
+int main() {
+  bench::print_header("Ablation (penalty function)",
+                      "Optimizer decisions under different I(f) on 100 "
+                      "contended instances (87.5% constraint)");
+
+  const Shape shapes[] = {
+      {"linear I(f)=f (paper)", core::PenaltyFunction::linear()},
+      {"tcp-throughput", core::PenaltyFunction::tcp_throughput()},
+      {"step @1e-4 (SLA)", core::PenaltyFunction::step(1e-4)},
+  };
+
+  // Contended instances: a ToR breakout pair plus two more corrupting
+  // uplinks on one ToR; at 87.5% only one of the four may be disabled,
+  // so the choice exposes the penalty shape.
+  common::Rng rng(77);
+  std::vector<std::vector<std::pair<common::LinkId, double>>> instances;
+  {
+    const topology::Topology topo = topology::build_medium_dcn();
+    for (int i = 0; i < 100; ++i) {
+      const auto tor =
+          topo.tors()[rng.uniform_index(topo.tors().size())];
+      const auto& uplinks = topo.switch_at(tor).uplinks;
+      std::vector<std::pair<common::LinkId, double>> instance;
+      for (std::size_t u : rng.sample_without_replacement(uplinks.size(), 4)) {
+        instance.emplace_back(uplinks[u], rng.log_uniform(1e-7, 1e-2));
+      }
+      instances.push_back(std::move(instance));
+    }
+  }
+
+  std::printf("%-24s %14s %20s %22s\n", "penalty shape", "disabled",
+              "mean residual f", "agrees with linear");
+  std::vector<std::vector<common::LinkId>> linear_choice(instances.size());
+  for (const Shape& shape : shapes) {
+    std::size_t disabled_total = 0;
+    double residual_rate = 0.0;
+    std::size_t agree = 0;
+    for (std::size_t i = 0; i < instances.size(); ++i) {
+      topology::Topology topo = topology::build_medium_dcn();
+      core::CapacityConstraint constraint(0.875);
+      core::CorruptionSet corruption;
+      for (const auto& [link, rate] : instances[i]) {
+        corruption.mark(link, rate);
+      }
+      core::Optimizer optimizer(topo, constraint, shape.penalty);
+      const core::OptimizerResult result = optimizer.run(corruption);
+      disabled_total += result.disabled.size();
+      for (const auto& [link, rate] : instances[i]) {
+        if (topo.is_enabled(link)) residual_rate += rate;
+      }
+      if (shape.name == shapes[0].name) {
+        linear_choice[i] = result.disabled;
+      } else if (result.disabled == linear_choice[i]) {
+        ++agree;
+      }
+    }
+    std::printf("%-24s %14zu %20.3e %21.0f%%\n", shape.name, disabled_total,
+                residual_rate / static_cast<double>(instances.size()),
+                shape.name == shapes[0].name
+                    ? 100.0
+                    : 100.0 * static_cast<double>(agree) /
+                          static_cast<double>(instances.size()));
+    std::printf("csv,ablation_penalty,%s,%zu,%.6e\n", shape.name,
+                disabled_total,
+                residual_rate / static_cast<double>(instances.size()));
+  }
+  std::printf(
+      "\nunder contention the step penalty ignores sub-SLA links entirely\n"
+      "and the TCP shape keeps heavy-loss links' marginal penalty flat,\n"
+      "so both can pick different survivors than the paper's linear I.\n");
+  return 0;
+}

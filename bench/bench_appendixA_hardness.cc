@@ -1,0 +1,90 @@
+// Appendix A: the NP-hardness reduction, exercised end to end. Random
+// 3-SAT instances are compiled into the Lemma A.1 fat-tree gadget; the
+// optimizer can disable one corrupting link per variable iff the formula
+// is satisfiable. The timing table shows the exponential growth in
+// subsets explored as variables are added — the practical face of
+// Theorem 5.1 — and how the reject cache tames it.
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "corropt/optimizer.h"
+#include "corropt/sat_gadget.h"
+
+namespace {
+
+using namespace corropt;
+
+core::SatInstance random_instance(int vars, int clauses, common::Rng& rng) {
+  core::SatInstance instance;
+  instance.num_vars = vars;
+  for (int i = 0; i < clauses; ++i) {
+    core::SatClause clause{};
+    for (int j = 0; j < 3; ++j) {
+      const int var = 1 + static_cast<int>(rng.uniform_index(vars));
+      clause.literals[static_cast<std::size_t>(j)] =
+          rng.bernoulli(0.5) ? var : -var;
+    }
+    instance.clauses.push_back(clause);
+  }
+  return instance;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Appendix A",
+                      "Deciding 3-SAT with the link-disabling optimizer on "
+                      "the Lemma A.1 gadget");
+
+  common::Rng rng(2017);
+  std::printf("%6s %9s %8s %8s %12s %12s %10s\n", "vars", "clauses", "sat?",
+              "agree", "subsets", "cache skips", "time (ms)");
+  for (int vars = 3; vars <= 11; vars += 2) {
+    const int clauses = vars * 4;  // Near the hard ratio ~4.2.
+    int agreements = 0, trials = 0;
+    std::size_t subsets = 0, skips = 0;
+    double ms = 0.0;
+    int sat_count = 0;
+    for (int trial = 0; trial < 5; ++trial) {
+      const core::SatInstance instance =
+          random_instance(vars, clauses, rng);
+      const bool satisfiable = core::solve_sat_brute_force(instance);
+      sat_count += satisfiable;
+
+      core::SatGadget gadget = core::build_sat_gadget(instance);
+      core::CorruptionSet corruption;
+      for (common::LinkId link : gadget.corrupting) {
+        corruption.mark(link, 1e-3);
+      }
+      core::Optimizer optimizer(gadget.topo, gadget.connectivity,
+                                core::PenaltyFunction::linear());
+      const auto start = std::chrono::steady_clock::now();
+      const core::OptimizerResult result = optimizer.run(corruption);
+      ms += std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+      subsets += result.subsets_evaluated;
+      skips += result.cache_skips;
+      ++trials;
+      agreements +=
+          (result.disabled.size() == static_cast<std::size_t>(vars)) ==
+          satisfiable;
+    }
+    std::printf("%6d %9d %5d/%-3d %5d/%-3d %12zu %12zu %10.2f\n", vars,
+                clauses, sat_count, trials, agreements, trials,
+                subsets / static_cast<std::size_t>(trials),
+                skips / static_cast<std::size_t>(trials),
+                ms / trials);
+    std::printf("csv,appendixA,%d,%d,%zu,%.3f\n", vars, clauses,
+                subsets / static_cast<std::size_t>(trials), ms / trials);
+  }
+  std::printf(
+      "\nsubsets explored grow exponentially with the variable count\n"
+      "(Theorem 5.1); the reject cache prunes supersets of minimal\n"
+      "infeasible sets, which is why practical instances stay tractable\n"
+      "(Section 5.1).\n");
+  return 0;
+}

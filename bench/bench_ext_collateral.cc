@@ -1,0 +1,66 @@
+// Section 8 extension: accounting for the collateral impact of repair.
+//
+// Repairing one leg of a breakout bundle takes the healthy sibling links
+// down for the maintenance window ("to repair the breakout cable, an
+// additional three healthy links have to be turned off"). Today's fast
+// checker ignores that, so maintenance windows can push ToRs below their
+// capacity constraint. The proposed extension makes the disable decision
+// conservative: capacity must hold with the whole bundle off. This bench
+// quantifies both the problem and the fix on the large DCN.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace corropt;
+  bench::print_header("Section 8 extension (collateral repair impact)",
+                      "Maintenance windows take breakout siblings down; "
+                      "large DCN, c = 75%, 90 days");
+
+  struct Row {
+    const char* name;
+    bool model;
+    bool account;
+  };
+  const Row rows[] = {
+      {"ignore collateral (paper's CorrOpt)", true, false},
+      {"collateral-aware fast checker", true, true},
+  };
+
+  std::printf("%-38s %10s %12s %12s %12s\n", "configuration", "windows",
+              "violations", "penalty", "blocked");
+  for (const Row& row : rows) {
+    topology::Topology topo = topology::build_large_dcn();
+    const auto events = bench::make_trace(
+        topo, bench::kFaultsPerLinkPerDay, 90 * common::kDay, 606);
+    sim::ScenarioConfig config;
+    config.mode = core::CheckerMode::kCorrOpt;
+    config.capacity_fraction = 0.75;
+    config.duration = 90 * common::kDay;
+    config.seed = 11;
+    config.model_collateral_maintenance = row.model;
+    config.account_collateral_repair = row.account;
+    sim::MitigationSimulation sim(topo, config);
+    const sim::SimulationMetrics metrics = sim.run(events);
+    std::printf("%-38s %10zu %12zu %12.3e %12zu\n", row.name,
+                metrics.maintenance_windows,
+                metrics.maintenance_capacity_violations,
+                metrics.integrated_penalty,
+                metrics.undisabled_detections);
+    std::printf("csv,ext_collateral,%s,%zu,%zu,%.6e,%zu\n", row.name,
+                metrics.maintenance_windows,
+                metrics.maintenance_capacity_violations,
+                metrics.integrated_penalty,
+                metrics.undisabled_detections);
+  }
+  std::printf(
+      "\n'violations' counts maintenance windows during which some ToR\n"
+      "fell below its capacity constraint. The collateral-aware fast\n"
+      "checker reduces them (residual violations come from\n"
+      "optimizer-initiated disables and overlapping windows) and avoids\n"
+      "the penalty spikes of corrupting links that cannot be disabled\n"
+      "while someone else's maintenance eats the margin — at the cost of\n"
+      "keeping a few more corrupting links in service ('blocked').\n");
+  return 0;
+}

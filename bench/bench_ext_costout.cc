@@ -1,0 +1,60 @@
+// Section 8 extension: removing traffic instead of disabling links.
+//
+// With today's disable-and-enable workflow, a failed repair is only
+// discovered after the link rejoins routing and live traffic corrupts
+// for a detection window (Figure 12's repeated cycles). Costing the link
+// out instead lets technicians verify with test traffic, so failed
+// repairs never touch applications. This bench quantifies that benefit:
+// same trace, same CorrOpt disabling, different verification policy, at
+// three first-attempt repair accuracies.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace corropt;
+  bench::print_header("Section 8 extension",
+                      "Cost-out verification vs enable-and-observe "
+                      "(large DCN, c=75%, 90 days)");
+
+  std::printf("%16s %18s %18s %14s %14s\n", "repair accuracy",
+              "enable+observe", "cost-out", "reduction", "redetections");
+  for (const double accuracy : {0.5, 0.8, 0.95}) {
+    double penalty[2] = {};
+    std::size_t redetections = 0;
+    const sim::RepairVerification policies[2] = {
+        sim::RepairVerification::kEnableAndObserve,
+        sim::RepairVerification::kTestTraffic};
+    for (int p = 0; p < 2; ++p) {
+      topology::Topology topo = topology::build_large_dcn();
+      const auto events = bench::make_trace(
+          topo, bench::kFaultsPerLinkPerDay, 90 * common::kDay, 404);
+      sim::ScenarioConfig config;
+      config.mode = core::CheckerMode::kCorrOpt;
+      config.capacity_fraction = 0.75;
+      config.duration = 90 * common::kDay;
+      config.seed = 9;
+      config.outcome.first_attempt_success = accuracy;
+      config.verification = policies[p];
+      sim::MitigationSimulation sim(topo, config);
+      const sim::SimulationMetrics metrics = sim.run(events);
+      penalty[p] = metrics.integrated_penalty;
+      if (p == 0) redetections = metrics.redetections;
+    }
+    std::printf("%15.0f%% %18.3e %18.3e %13.1f%% %14zu\n", accuracy * 100.0,
+                penalty[0], penalty[1],
+                penalty[0] == 0.0
+                    ? 0.0
+                    : 100.0 * (penalty[0] - penalty[1]) / penalty[0],
+                redetections);
+    std::printf("csv,ext_costout,%.2f,%.6e,%.6e,%zu\n", accuracy,
+                penalty[0], penalty[1], redetections);
+  }
+  std::printf(
+      "\nthe lower the repair accuracy, the more live-traffic exposure\n"
+      "the enable-and-observe cycle costs; cost-out verification removes\n"
+      "it entirely, and monitoring data keeps flowing while the repair is\n"
+      "validated (Section 8).\n");
+  return 0;
+}

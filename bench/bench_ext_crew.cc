@@ -1,0 +1,49 @@
+// Repair-crew capacity planning. The paper measures a two-day average
+// ticket resolution and notes the time depends on the FIFO queue depth
+// (Section 5.2). This bench bounds the technician crew and sweeps its
+// size on the large DCN's quarter of faults: too few technicians let the
+// backlog stretch resolution times, which holds capacity down and keeps
+// blocked corrupting links active longer.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace corropt;
+  bench::print_header("Crew planning (Section 5.2 queue model)",
+                      "Technician crew size vs ticket resolution and "
+                      "corruption penalty (large DCN, c=75%, 90 days)");
+
+  std::printf("%14s %18s %16s %12s\n", "technicians", "mean resolution",
+              "penalty", "tickets");
+  for (const int technicians : {1, 4, 8, 16, 24, 0}) {
+    topology::Topology topo = topology::build_large_dcn();
+    const auto events = bench::make_trace(
+        topo, bench::kFaultsPerLinkPerDay, 90 * common::kDay, 808);
+    sim::ScenarioConfig config;
+    config.mode = core::CheckerMode::kCorrOpt;
+    config.capacity_fraction = 0.75;
+    config.duration = 90 * common::kDay;
+    config.seed = 13;
+    config.queue.technicians = technicians;
+    sim::MitigationSimulation sim(topo, config);
+    const sim::SimulationMetrics metrics = sim.run(events);
+    char crew[16];
+    std::snprintf(crew, sizeof(crew), "%s",
+                  technicians == 0 ? "unbounded" : std::to_string(technicians)
+                                                        .c_str());
+    std::printf("%14s %15.1f d %16.3e %12zu\n", crew,
+                metrics.mean_ticket_resolution_s / common::kDay,
+                metrics.integrated_penalty, metrics.tickets_opened);
+    std::printf("csv,ext_crew,%d,%.4f,%.6e,%zu\n", technicians,
+                metrics.mean_ticket_resolution_s / common::kDay,
+                metrics.integrated_penalty, metrics.tickets_opened);
+  }
+  std::printf(
+      "\nthe paper's flat two-day service is the unbounded-crew limit; a\n"
+      "small crew turns the FIFO queue into the bottleneck, exactly the\n"
+      "'exact time needed for a fix depends on the number of tickets in\n"
+      "the queue' effect of Section 5.2.\n");
+  return 0;
+}

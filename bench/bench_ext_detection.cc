@@ -1,0 +1,56 @@
+// Closed-loop detection: the paper's simulations assume the controller
+// learns of corruption instantly (detection is minutes against repair
+// times of days). This bench closes the loop — SNMP polls every 15
+// minutes feed a windowed, hysteretic detector whose verdicts drive the
+// controller — and quantifies what the modeling shortcut costs: the
+// extra penalty equals the loss accrued between fault onset and the
+// detector's verdict.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace corropt;
+  bench::print_header("Closed-loop detection",
+                      "Oracle vs 15-minute polled detection (medium DCN, "
+                      "c=75%, 90 days)");
+
+  std::printf("%-24s %16s %14s %16s\n", "detection", "penalty",
+              "detections", "mean latency");
+  for (const auto mode :
+       {sim::DetectionMode::kOracle, sim::DetectionMode::kPolled}) {
+    topology::Topology topo = topology::build_medium_dcn();
+    const auto events = bench::make_trace(
+        topo, bench::kFaultsPerLinkPerDay, 90 * common::kDay, 707);
+    sim::ScenarioConfig config;
+    config.mode = core::CheckerMode::kCorrOpt;
+    config.capacity_fraction = 0.75;
+    config.duration = 90 * common::kDay;
+    config.seed = 12;
+    config.detection = mode;
+    sim::MitigationSimulation sim(topo, config);
+    const sim::SimulationMetrics metrics = sim.run(events);
+    if (mode == sim::DetectionMode::kOracle) {
+      std::printf("%-24s %16.3e %14zu %16s\n", "oracle (paper model)",
+                  metrics.integrated_penalty,
+                  metrics.controller.corruption_reports, "0");
+      std::printf("csv,ext_detection,oracle,%.6e,%zu,0\n",
+                  metrics.integrated_penalty,
+                  metrics.controller.corruption_reports);
+    } else {
+      std::printf("%-24s %16.3e %14zu %13.0f min\n", "polled (closed loop)",
+                  metrics.integrated_penalty, metrics.polled_detections,
+                  metrics.mean_detection_latency_s / 60.0);
+      std::printf("csv,ext_detection,polled,%.6e,%zu,%.1f\n",
+                  metrics.integrated_penalty, metrics.polled_detections,
+                  metrics.mean_detection_latency_s);
+    }
+  }
+  std::printf(
+      "\nthe polled pipeline adds roughly (detection latency x loss rate)\n"
+      "per fault: material in absolute terms, negligible against the\n"
+      "multi-day repair timescale — which is why the paper's simulations\n"
+      "can afford the oracle shortcut.\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Figure 5: corruption is asymmetric; congestion is not. Measures the
+// fraction of lossy links that are lossy in both directions and prints
+// the bidirectional scatter. Paper: 8.2% of corrupting links corrupt in
+// both directions vs 72.7% for congestion; bidirectional congested links
+// cluster at similar, large loss rates in both directions.
+
+#include <cstdio>
+#include <vector>
+
+#include "analysis/locality.h"
+#include "analysis/measurement_study.h"
+#include "bench_util.h"
+#include "topology/fat_tree.h"
+
+int main() {
+  using namespace corropt;
+  bench::print_header("Figure 5",
+                      "Bidirectionality of corruption vs congestion losses "
+                      "(one week)");
+
+  const topology::Topology topo = topology::build_fat_tree(16);
+  analysis::StudyConfig config;
+  config.days = 7;
+  config.epoch = 3 * common::kHour;
+  config.corrupting_link_fraction = 0.04;
+  
+  config.seed = 6;
+  analysis::MeasurementStudy study(topo, config);
+
+  struct Tally {
+    double corruption = 0.0, congestion = 0.0, packets = 0.0;
+  };
+  std::vector<Tally> per_direction(topo.direction_count());
+  study.run([&](const telemetry::PollSample& s) {
+    Tally& tally = per_direction[s.direction.index()];
+    tally.corruption += static_cast<double>(s.corruption_drops);
+    tally.congestion += static_cast<double>(s.congestion_drops);
+    tally.packets += static_cast<double>(s.packets);
+  });
+
+  std::vector<double> corruption_up(topo.link_count(), 0.0);
+  std::vector<double> corruption_down(topo.link_count(), 0.0);
+  std::vector<double> congestion_up(topo.link_count(), 0.0);
+  std::vector<double> congestion_down(topo.link_count(), 0.0);
+  for (const auto& link : topo.links()) {
+    const auto up = topology::direction_id(link.id,
+                                           topology::LinkDirection::kUp);
+    const auto down = topology::direction_id(link.id,
+                                             topology::LinkDirection::kDown);
+    const Tally& u = per_direction[up.index()];
+    const Tally& d = per_direction[down.index()];
+    if (u.packets > 0.0) {
+      corruption_up[link.id.index()] = u.corruption / u.packets;
+      congestion_up[link.id.index()] = u.congestion / u.packets;
+    }
+    if (d.packets > 0.0) {
+      corruption_down[link.id.index()] = d.corruption / d.packets;
+      congestion_down[link.id.index()] = d.congestion / d.packets;
+    }
+  }
+
+  const analysis::AsymmetryStats corruption =
+      analysis::asymmetry(corruption_up, corruption_down);
+  const analysis::AsymmetryStats congestion =
+      analysis::asymmetry(congestion_up, congestion_down);
+
+  std::printf("corrupting links:            %zu\n", corruption.lossy_links);
+  std::printf("  bidirectional:             %zu (%.1f%%; paper: 8.2%%)\n",
+              corruption.bidirectional_links,
+              corruption.bidirectional_fraction() * 100.0);
+  std::printf("congested links:             %zu\n", congestion.lossy_links);
+  std::printf("  bidirectional:             %zu (%.1f%%; paper: 72.7%%)\n",
+              congestion.bidirectional_links,
+              congestion.bidirectional_fraction() * 100.0);
+  std::printf("csv,fig5,corruption,%.4f\n",
+              corruption.bidirectional_fraction());
+  std::printf("csv,fig5,congestion,%.4f\n",
+              congestion.bidirectional_fraction());
+
+  std::printf("\n(a) bidirectional corrupting links (rate up vs down)\n");
+  for (std::size_t i = 0;
+       i < std::min<std::size_t>(8, corruption.bidirectional_rates.size());
+       ++i) {
+    std::printf("   %.3e  %.3e\n", corruption.bidirectional_rates[i].first,
+                corruption.bidirectional_rates[i].second);
+  }
+  std::printf("(b) bidirectional congested links (rate up vs down)\n");
+  for (std::size_t i = 0;
+       i < std::min<std::size_t>(8, congestion.bidirectional_rates.size());
+       ++i) {
+    std::printf("   %.3e  %.3e\n", congestion.bidirectional_rates[i].first,
+                congestion.bidirectional_rates[i].second);
+  }
+  return 0;
+}

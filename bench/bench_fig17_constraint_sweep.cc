@@ -1,0 +1,56 @@
+// Figure 17: total integrated penalty of CorrOpt divided by switch-local
+// for different capacity constraints, medium and large DCNs. Since the
+// penalty function is linear in corruption losses, the ratio is the
+// reduction in corruption losses. Paper shape: ratio 1 at a lax 25%
+// constraint (both disable everything), collapsing toward 0 at 50%, and
+// three to six orders of magnitude at 75%.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace corropt;
+  bench::print_header("Figure 17",
+                      "Integrated penalty of CorrOpt / switch-local vs "
+                      "capacity constraint, 90-day traces");
+
+  std::printf("%12s %12s %16s %16s %12s %12s\n", "dcn", "constraint",
+              "switch-local", "corropt", "ratio", "blocked");
+  for (const bench::Dcn dcn : {bench::Dcn::kMedium, bench::Dcn::kLarge}) {
+    for (const double constraint : {0.25, 0.50, 0.75, 0.875}) {
+      double penalty[2] = {};
+      std::size_t blocked = 0;
+      std::size_t reports = 1;
+      const core::CheckerMode modes[2] = {core::CheckerMode::kSwitchLocal,
+                                          core::CheckerMode::kCorrOpt};
+      for (int m = 0; m < 2; ++m) {
+        const auto outcome = bench::run_scenario(
+            dcn, modes[m], constraint, bench::kFaultsPerLinkPerDay,
+            90 * common::kDay, /*trace_seed=*/101, /*sim_seed=*/7);
+        penalty[m] = outcome.metrics.integrated_penalty;
+        if (m == 1) {
+          blocked = outcome.metrics.undisabled_detections;
+          reports = outcome.metrics.controller.corruption_reports;
+        }
+      }
+      const double ratio =
+          penalty[0] == 0.0 ? (penalty[1] == 0.0 ? 1.0 : 1e9)
+                            : penalty[1] / penalty[0];
+      std::printf("%12s %11.1f%% %16.3e %16.3e %12.2e %10.1f%%\n",
+                  dcn == bench::Dcn::kMedium ? "medium" : "large",
+                  constraint * 100.0, penalty[0], penalty[1], ratio,
+                  100.0 * static_cast<double>(blocked) /
+                      static_cast<double>(reports));
+      std::printf("csv,fig17,%s,%.3f,%.6e,%.6e,%.6e\n",
+                  dcn == bench::Dcn::kMedium ? "medium" : "large",
+                  constraint, penalty[0], penalty[1], ratio);
+    }
+  }
+  std::printf(
+      "\n'blocked' = corruption reports CorrOpt could not immediately\n"
+      "disable (the paper reports up to 15%% under demanding\n"
+      "configurations). paper ratio shape: 1 at 25%%, ~0 at 50%%\n"
+      "(medium), 1e-3..1e-6 at 75%%.\n");
+  return 0;
+}

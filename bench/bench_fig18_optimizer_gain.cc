@@ -1,0 +1,75 @@
+// Figure 18: the gain of running the optimizer on link activation over
+// running the fast checker alone, large DCN. (a) the ratio of total
+// penalty (CorrOpt / fast-checker-only) in one-hour bins; (b) the CDF of
+// that ratio. Paper shape: no reduction ~90% of the time; when capacity
+// is contended, the optimizer cuts the penalty by an order of magnitude
+// or more for ~7% of the time.
+//
+// The gap only opens when constraints bind, so alongside the paper's 75%
+// setting we sweep a more demanding 87.5% constraint where co-located
+// faults regularly exceed the ToR margin.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "stats/cdf.h"
+
+int main() {
+  using namespace corropt;
+  bench::print_header("Figure 18",
+                      "Optimizer gain over fast checker alone (large DCN, "
+                      "one-hour bins, 90 days)");
+
+  for (const double constraint : {0.75, 0.875}) {
+    std::printf("\n=== capacity constraint %.1f%% ===\n", constraint * 100);
+    std::vector<double> hourly[2];
+    const core::CheckerMode modes[2] = {core::CheckerMode::kFastCheckerOnly,
+                                        core::CheckerMode::kCorrOpt};
+    for (int m = 0; m < 2; ++m) {
+      const auto outcome = bench::run_scenario(
+          bench::Dcn::kLarge, modes[m], constraint,
+          bench::kFaultsPerLinkPerDay, 90 * common::kDay,
+          /*trace_seed=*/202, /*sim_seed=*/7);
+      hourly[m] = outcome.metrics.hourly_penalty;
+    }
+    const std::size_t bins = std::min(hourly[0].size(), hourly[1].size());
+
+    // (a) time series: report only hours where either system saw
+    // corruption (quiet hours are ratio 1 by definition).
+    stats::EmpiricalCdf ratios;
+    std::size_t active_hours = 0, improved = 0, tenfold = 0;
+    for (std::size_t h = 0; h < bins; ++h) {
+      if (hourly[0][h] <= 0.0 && hourly[1][h] <= 0.0) {
+        ratios.add(1.0);
+        continue;
+      }
+      ++active_hours;
+      const double ratio =
+          hourly[0][h] <= 0.0 ? 1.0 : hourly[1][h] / hourly[0][h];
+      ratios.add(std::min(ratio, 1.0));
+      if (ratio < 1.0 - 1e-12) ++improved;
+      if (ratio <= 0.1) ++tenfold;
+    }
+
+    std::printf("(b) CDF of hourly penalty ratio (corropt / fast-checker)\n");
+    std::printf("%10s %12s\n", "fraction", "ratio");
+    for (double q : {0.01, 0.02, 0.05, 0.07, 0.10, 0.25, 0.5, 0.9}) {
+      std::printf("%10.2f %12.3e\n", q, ratios.quantile(q));
+      std::printf("csv,fig18,%.3f,%.2f,%.6e\n", constraint, q,
+                  ratios.quantile(q));
+    }
+    std::printf(
+        "hours with corruption: %zu of %zu; optimizer reduced penalty in "
+        "%zu hours (%.1f%% of all), >=10x in %zu (%.1f%%)\n",
+        active_hours, bins, improved,
+        bins == 0 ? 0.0 : 100.0 * improved / bins, tenfold,
+        bins == 0 ? 0.0 : 100.0 * tenfold / bins);
+  }
+  std::printf(
+      "\npaper: no reduction for 90%% of the time; >=10x for ~7%% of the\n"
+      "time. Our synthetic traces bind less often at 75%%, so the gain\n"
+      "concentrates at the demanding constraint.\n");
+  return 0;
+}

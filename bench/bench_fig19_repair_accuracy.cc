@@ -1,0 +1,55 @@
+// Figure 19: CorrOpt's repair recommendations also lower corruption loss.
+// Two repair processes are compared under CorrOpt's disabling algorithm:
+// with recommendations, 80% of links are repaired in two days and the
+// rest in four; without, only 50% are repaired in two days. The plot is
+// the penalty ratio (with / without recommendations) per capacity
+// constraint. Paper: ~30% lower corruption losses at a 75% constraint.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "repair/technician.h"
+
+int main() {
+  using namespace corropt;
+  bench::print_header("Figure 19",
+                      "Penalty with CorrOpt recommendations (80% first-fix) "
+                      "divided by penalty without (50% first-fix)");
+
+  std::printf("%12s %12s %16s %16s %10s\n", "dcn", "constraint",
+              "with corropt", "without", "ratio");
+  for (const bench::Dcn dcn : {bench::Dcn::kMedium, bench::Dcn::kLarge}) {
+    for (const double constraint : {0.25, 0.50, 0.75, 0.875}) {
+      // Pool a few seeds: the effect rides on which faults collide, which
+      // is noisy within one 90-day trace.
+      double with_rec = 0.0, without_rec = 0.0;
+      for (std::uint64_t seed = 301; seed < 305; ++seed) {
+        with_rec += bench::run_scenario(
+                        dcn, core::CheckerMode::kCorrOpt, constraint,
+                        bench::kFaultsPerLinkPerDay, 90 * common::kDay,
+                        seed, seed + 17,
+                        repair::kCorrOptFirstAttemptSuccess)
+                        .metrics.integrated_penalty;
+        without_rec += bench::run_scenario(
+                           dcn, core::CheckerMode::kCorrOpt, constraint,
+                           bench::kFaultsPerLinkPerDay, 90 * common::kDay,
+                           seed, seed + 17,
+                           repair::kLegacyFirstAttemptSuccess)
+                           .metrics.integrated_penalty;
+      }
+      const double ratio =
+          without_rec == 0.0 ? 1.0 : with_rec / without_rec;
+      std::printf("%12s %11.1f%% %16.3e %16.3e %10.3f\n",
+                  dcn == bench::Dcn::kMedium ? "medium" : "large",
+                  constraint * 100.0, with_rec, without_rec, ratio);
+      std::printf("csv,fig19,%s,%.3f,%.6e,%.6e,%.4f\n",
+                  dcn == bench::Dcn::kMedium ? "medium" : "large",
+                  constraint, with_rec, without_rec, ratio);
+    }
+  }
+  std::printf(
+      "\npaper: recommendations cut corruption losses ~30%% at the 75%%\n"
+      "constraint (faster correct repairs return capacity sooner, letting\n"
+      "more corrupting links be disabled).\n");
+  return 0;
+}

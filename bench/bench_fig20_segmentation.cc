@@ -1,0 +1,146 @@
+// Figure 20 + Section 8: topology segmentation. Shows (i) the worked
+// example — two groups of corrupting links whose disable decisions are
+// independent and can be optimized separately — and (ii) an ablation on
+// the large DCN measuring how segmentation (plus pruning and the reject
+// cache) shrinks the optimizer's search.
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "corropt/optimizer.h"
+#include "corropt/segmentation.h"
+#include "topology/fat_tree.h"
+
+namespace {
+
+using namespace corropt;
+
+// A clustered corruption scenario on the large DCN: in each affected
+// pod, two ToR breakout pairs (which endanger their ToRs at a demanding
+// constraint) plus one aggregation octet bundle (coupled to those ToRs
+// through shared paths). Each pod becomes one optimizer segment of ~12
+// links; without segmentation they merge into one intractable blob.
+core::CorruptionSet clustered_corruption(const topology::Topology& topo,
+                                         int pods, common::Rng& rng) {
+  core::CorruptionSet corruption;
+  // Group ToRs by pod.
+  std::vector<std::vector<common::SwitchId>> by_pod;
+  for (common::SwitchId tor : topo.tors()) {
+    const int pod = topo.switch_at(tor).pod;
+    if (pod < 0) continue;
+    if (static_cast<std::size_t>(pod) >= by_pod.size()) {
+      by_pod.resize(static_cast<std::size_t>(pod) + 1);
+    }
+    by_pod[static_cast<std::size_t>(pod)].push_back(tor);
+  }
+  const auto picked = rng.sample_without_replacement(
+      by_pod.size(), static_cast<std::size_t>(pods));
+  for (std::size_t pod : picked) {
+    const auto& tors = by_pod[pod];
+    // Two ToR breakout pairs on distinct ToRs.
+    for (int t = 0; t < 2; ++t) {
+      const auto tor = tors[rng.uniform_index(tors.size())];
+      const auto& uplinks = topo.switch_at(tor).uplinks;
+      const std::size_t first = 2 * rng.uniform_index(uplinks.size() / 2);
+      corruption.mark(uplinks[first], rng.log_uniform(1e-6, 1e-2));
+      corruption.mark(uplinks[first + 1], rng.log_uniform(1e-6, 1e-2));
+    }
+    // One aggregation octet in the same pod.
+    const auto any_tor = tors[rng.uniform_index(tors.size())];
+    const auto agg =
+        topo.link_at(topo.switch_at(any_tor).uplinks[0]).upper;
+    const auto& agg_uplinks = topo.switch_at(agg).uplinks;
+    for (std::size_t i = 0; i < 8 && i < agg_uplinks.size(); ++i) {
+      corruption.mark(agg_uplinks[i], rng.log_uniform(1e-6, 1e-3));
+    }
+  }
+  return corruption;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Figure 20 / Section 8",
+                      "Topology segmentation: independent optimization of "
+                      "corrupting-link groups");
+
+  // (i) The worked example: two pods of a small Clos, corruption in both.
+  {
+    topology::ClosSpec spec;
+    spec.pods = 2;
+    spec.tors_per_pod = 2;
+    spec.aggs_per_pod = 2;
+    spec.spine_group_size = 2;
+    auto topo = topology::build_clos(spec);
+    core::CapacityConstraint constraint(0.75);
+    core::PathCounter counter(topo);
+    // Corrupting: both uplinks of an agg in pod 0, both of one in pod 1.
+    std::vector<common::LinkId> corrupting;
+    for (int pod = 0; pod < 2; ++pod) {
+      const auto tor = topo.tors()[static_cast<std::size_t>(2 * pod)];
+      const auto agg = topo.link_at(topo.switch_at(tor).uplinks[0]).upper;
+      for (common::LinkId link : topo.switch_at(agg).uplinks) {
+        corrupting.push_back(link);
+      }
+    }
+    core::LinkMask off(topo.link_count(), 0);
+    for (common::LinkId link : corrupting) off[link.index()] = 1;
+    const auto violated =
+        counter.violated_tors(counter.up_paths(&off), constraint);
+    const auto segments =
+        core::segment_candidates(counter, corrupting, violated);
+    std::printf("worked example: %zu corrupting links across 2 pods -> %zu "
+                "independent segments of 2 links each\n",
+                corrupting.size(), segments.size());
+    for (std::size_t s = 0; s < segments.size(); ++s) {
+      std::printf("  segment %zu: %zu links, %zu endangered ToR(s)\n", s + 1,
+                  segments[s].links.size(), segments[s].tors.size());
+    }
+  }
+
+  // (ii) Ablation on the large DCN.
+  std::printf("\nlarge-DCN ablation (clustered corruption in 6 pods, "
+              "capacity 87.5%%):\n");
+  std::printf("%-34s %12s %12s %12s\n", "configuration", "subsets",
+              "cache skips", "time (ms)");
+  struct Config {
+    const char* name;
+    bool segmentation;
+    bool reject_cache;
+    bool prefilter;
+  };
+  const Config configs[] = {
+      {"full (segmentation + cache)", true, true, true},
+      {"no segmentation", false, true, true},
+      {"no reject cache", true, false, true},
+      {"no singleton prefilter", true, true, false},
+  };
+  for (const Config& config : configs) {
+    auto topo = topology::build_large_dcn();
+    common::Rng rng(55);
+    const core::CorruptionSet corruption =
+        clustered_corruption(topo, 6, rng);
+    core::CapacityConstraint constraint(0.875);
+    core::OptimizerConfig opt;
+    opt.use_segmentation = config.segmentation;
+    opt.use_reject_cache = config.reject_cache;
+    opt.prefilter_singletons = config.prefilter;
+    core::Optimizer optimizer(topo, constraint,
+                              core::PenaltyFunction::linear(), opt);
+    const auto start = std::chrono::steady_clock::now();
+    const core::OptimizerResult result = optimizer.run(corruption);
+    const auto elapsed =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    std::printf("%-34s %12zu %12zu %12.2f   (disabled %zu/%zu, exact=%s)\n",
+                config.name, result.subsets_evaluated, result.cache_skips,
+                elapsed, result.disabled.size(), corruption.size(),
+                result.exact ? "yes" : "no");
+    std::printf("csv,fig20,%s,%zu,%zu,%.3f\n", config.name,
+                result.subsets_evaluated, result.cache_skips, elapsed);
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Section 3, "Corruption is uncorrelated with link location": the
+// probability that a link corrupts is the same at every stage of the
+// topology (so corruption does not depend on cable length or switch
+// type), whereas congestion concentrates at particular stages. We
+// measure the per-stage corruption and congestion prevalence on the
+// measurement-study DCN.
+
+#include <cstdio>
+#include <vector>
+
+#include "analysis/measurement_study.h"
+#include "bench_util.h"
+#include "topology/fat_tree.h"
+
+int main() {
+  using namespace corropt;
+  bench::print_header("Section 3 (stage mix)",
+                      "Fraction of links lossy per topology stage");
+
+  const topology::Topology topo = topology::build_fat_tree(16);
+  analysis::StudyConfig config;
+  config.days = 7;
+  config.epoch = 3 * common::kHour;
+  config.corrupting_link_fraction = 0.03;
+  config.seed = 12;
+  analysis::MeasurementStudy study(topo, config);
+
+  struct StageTally {
+    std::size_t links = 0;
+    std::size_t corrupting = 0;
+    std::size_t congested = 0;
+  };
+  std::vector<StageTally> stages(static_cast<std::size_t>(topo.top_level()));
+  std::vector<double> corr(topo.link_count(), 0.0);
+  std::vector<double> cong(topo.link_count(), 0.0);
+  std::vector<double> pkts(topo.link_count(), 0.0);
+  study.run([&](const telemetry::PollSample& s) {
+    const auto link = topology::link_of(s.direction);
+    corr[link.index()] += static_cast<double>(s.corruption_drops);
+    cong[link.index()] += static_cast<double>(s.congestion_drops);
+    pkts[link.index()] += static_cast<double>(s.packets);
+  });
+  for (const topology::Link& link : topo.links()) {
+    const int stage = topo.switch_at(link.lower).level;
+    StageTally& tally = stages[static_cast<std::size_t>(stage)];
+    ++tally.links;
+    if (pkts[link.id.index()] == 0.0) continue;
+    if (corr[link.id.index()] / pkts[link.id.index()] >= 1e-8) {
+      ++tally.corrupting;
+    }
+    if (cong[link.id.index()] / pkts[link.id.index()] >= 1e-8) {
+      ++tally.congested;
+    }
+  }
+
+  std::printf("%-18s %8s %16s %16s\n", "stage", "links", "corrupting",
+              "congested");
+  const char* names[] = {"ToR <-> Agg", "Agg <-> Spine"};
+  for (std::size_t s = 0; s < stages.size(); ++s) {
+    std::printf("%-18s %8zu %15.2f%% %15.2f%%\n",
+                s < 2 ? names[s] : "higher", stages[s].links,
+                100.0 * stages[s].corrupting / stages[s].links,
+                100.0 * stages[s].congested / stages[s].links);
+    std::printf("csv,sec3_stage,%zu,%.4f,%.4f\n", s,
+                static_cast<double>(stages[s].corrupting) / stages[s].links,
+                static_cast<double>(stages[s].congested) / stages[s].links);
+  }
+  std::printf(
+      "\npaper: corruption shows no stage bias (independent of cable\n"
+      "length and switch type); congestion does — here it concentrates on\n"
+      "intra-pod links at hot pods.\n");
+  return 0;
+}

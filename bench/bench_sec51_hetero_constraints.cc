@@ -1,0 +1,63 @@
+// Section 5.1, heterogeneous per-ToR constraints: "Another limitation of
+// a switch-local checker is that it cannot handle different ToR
+// requirements well. If one ToR has a high capacity requirement c', all
+// upstream switches need to keep c'^(1/r) uplinks active. A switch-local
+// checker may not be able to disable a single link in extreme cases."
+//
+// We give 10% of ToRs (hot racks) a 90% requirement while the rest sit at
+// 50%. The switch-local checker must provision for the strictest ToR
+// everywhere (sc = sqrt(0.9)), so its disable budget collapses globally;
+// CorrOpt's per-ToR path counting confines the strictness to the hot
+// racks' upstream links.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "corropt/controller.h"
+
+int main() {
+  using namespace corropt;
+  bench::print_header("Section 5.1 (per-ToR constraints)",
+                      "Hot racks at 90% capacity requirement, others 50%; "
+                      "medium DCN, 90-day trace");
+
+  std::printf("%16s %16s %16s %14s\n", "checker", "disabled", "blocked",
+              "penalty");
+  const core::CheckerMode modes[2] = {core::CheckerMode::kSwitchLocal,
+                                      core::CheckerMode::kCorrOpt};
+  for (const core::CheckerMode mode : modes) {
+    topology::Topology topo = topology::build_medium_dcn();
+    const auto events = bench::make_trace(
+        topo, bench::kFaultsPerLinkPerDay, 90 * common::kDay, 505);
+
+    sim::ScenarioConfig config;
+    config.mode = mode;
+    // Switch-local has one global threshold and must be provisioned for
+    // the strictest rack; CorrOpt keeps the lax default and raises only
+    // the hot racks via per-ToR overrides.
+    config.capacity_fraction =
+        mode == core::CheckerMode::kSwitchLocal ? 0.90 : 0.50;
+    config.duration = 90 * common::kDay;
+    config.seed = 10;
+    const auto& tors = topo.tors();
+    for (std::size_t t = 0; t < tors.size(); t += 10) {
+      config.tor_overrides.emplace_back(tors[t], 0.90);
+    }
+    sim::MitigationSimulation sim(topo, config);
+    const sim::SimulationMetrics metrics = sim.run(events);
+    std::printf("%16s %16zu %16zu %14.3e\n", bench::mode_name(mode),
+                metrics.controller.disabled_on_arrival +
+                    metrics.controller.disabled_on_activation,
+                metrics.undisabled_detections,
+                metrics.integrated_penalty);
+    std::printf("csv,sec51_hetero,%s,%zu,%zu,%.6e\n", bench::mode_name(mode),
+                metrics.controller.disabled_on_arrival +
+                    metrics.controller.disabled_on_activation,
+                metrics.undisabled_detections, metrics.integrated_penalty);
+  }
+  std::printf(
+      "\nswitch-local provisioned for the strictest rack (sc = sqrt(0.9))\n"
+      "can barely disable anything anywhere; CorrOpt pays the strict\n"
+      "budget only upstream of the hot racks.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Section 5.1, deeper topologies: "with r tiers above the ToR-level, a
+// switch-local algorithm needs to keep c^(1/r) fraction of uplinks
+// active" — so the switch-local disable budget shrinks as DCNs grow
+// taller, while CorrOpt's exact path counting is depth-agnostic. This
+// bench sweeps 2-, 3- and 4-tier XGFTs of comparable size and measures
+// how many of a fixed set of corrupting links each approach can disable.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "corropt/fast_checker.h"
+#include "corropt/switch_local.h"
+#include "topology/xgft.h"
+
+int main() {
+  using namespace corropt;
+  bench::print_header("Section 5.1 (multi-tier DCNs)",
+                      "Fraction of 200 corrupting links disableable at "
+                      "c = 75%, by topology depth");
+
+  struct Case {
+    const char* name;
+    topology::XgftSpec spec;
+  };
+  std::vector<Case> cases;
+  {
+    topology::XgftSpec two;
+    two.children_per_node = {16, 32};
+    two.parents_per_node = {8, 16};
+    cases.push_back({"2 tiers (ToR-Agg-Spine)", two});
+    topology::XgftSpec three;
+    three.children_per_node = {8, 8, 8};
+    three.parents_per_node = {8, 8, 8};
+    cases.push_back({"3 tiers", three});
+    topology::XgftSpec four;
+    four.children_per_node = {4, 4, 8, 8};
+    four.parents_per_node = {8, 4, 4, 8};
+    cases.push_back({"4 tiers", four});
+  }
+
+  std::printf("%-26s %8s %8s %10s %14s %14s\n", "topology", "links",
+              "tiers", "sc", "switch-local", "corropt");
+  for (const Case& test_case : cases) {
+    topology::Topology local_topo = topology::build_xgft(test_case.spec);
+    topology::Topology global_topo = topology::build_xgft(test_case.spec);
+    const int tiers = local_topo.top_level();
+    const double sc = core::switch_local_threshold(0.75, tiers);
+
+    common::Rng rng(1234);
+    std::vector<common::LinkId> corrupting;
+    for (std::size_t index : rng.sample_without_replacement(
+             local_topo.link_count(), 200)) {
+      corrupting.push_back(common::LinkId(
+          static_cast<common::LinkId::underlying_type>(index)));
+    }
+
+    core::SwitchLocalChecker local(local_topo, sc);
+    core::CapacityConstraint constraint(0.75);
+    core::FastChecker global(global_topo, constraint);
+    std::size_t local_disabled = 0, global_disabled = 0;
+    for (common::LinkId link : corrupting) {
+      local_disabled += local.try_disable(link);
+      global_disabled += global.try_disable(link);
+    }
+    std::printf("%-26s %8zu %8d %10.3f %13.1f%% %13.1f%%\n", test_case.name,
+                local_topo.link_count(), tiers, sc,
+                100.0 * local_disabled / corrupting.size(),
+                100.0 * global_disabled / corrupting.size());
+    std::printf("csv,sec51_tiers,%d,%.4f,%.4f,%.4f\n", tiers, sc,
+                static_cast<double>(local_disabled) / corrupting.size(),
+                static_cast<double>(global_disabled) / corrupting.size());
+  }
+  std::printf(
+      "\nas tiers are added, sc = c^(1/r) approaches 1 and the per-switch\n"
+      "budget floor(m*(1-sc)) hits zero; CorrOpt's exact counting keeps\n"
+      "disabling everything the true constraint allows.\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Section 7.2: accuracy of repair recommendations. Replays thousands of
+// synthetic tickets through three technician policies and scores the
+// first visit:
+//   - legacy: the root-cause-agnostic escalation sequence plus visual
+//     inspection (the paper's pre-CorrOpt baseline: 50%);
+//   - deployed: CorrOpt recommendations, but technicians ignore them 30%
+//     of the time as observed in the rollout (paper: 58%);
+//   - following: technicians always follow the recommendation
+//     (paper: 80%).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "corropt/recommendation.h"
+#include "faults/fault_factory.h"
+#include "faults/injector.h"
+#include "repair/technician.h"
+#include "telemetry/network_state.h"
+#include "topology/fat_tree.h"
+
+namespace {
+
+using namespace corropt;
+
+struct Policy {
+  const char* name;
+  bool use_recommendation;
+  double p_follow;
+  double paper;
+};
+
+}  // namespace
+
+int main() {
+  bench::print_header("Section 7.2",
+                      "First-attempt repair success rate by technician "
+                      "policy (5000 tickets each)");
+
+  const topology::Topology topo = topology::build_medium_dcn();
+
+  const Policy policies[] = {
+      {"legacy (pre-CorrOpt)", false, 0.0, 0.50},
+      {"deployed (30% ignore)", true, 0.7, 0.58},
+      {"recommendation followed", true, 1.0, 0.80},
+  };
+
+  std::printf("%-26s %12s %12s\n", "policy", "measured", "paper");
+  for (const Policy& policy : policies) {
+    common::Rng rng(42);
+    telemetry::NetworkState state(topo, telemetry::default_tech());
+    faults::FaultInjector injector(state);
+    faults::FaultFactory factory(topo, {}, rng);
+    core::RecommendationEngine engine(state);
+    repair::Technician technician(policy.p_follow);
+
+    int successes = 0;
+    constexpr int kTickets = 5000;
+    for (int t = 0; t < kTickets; ++t) {
+      const common::LinkId link(static_cast<common::LinkId::underlying_type>(
+          rng.uniform_index(topo.link_count())));
+      if (!injector.faults_on_link(link).empty()) continue;
+      const common::FaultId id =
+          injector.inject(factory.make_random_fault(link, 0));
+      const faults::Fault* fault = injector.fault(id);
+
+      // The technician first looks; visually apparent causes get fixed
+      // regardless of policy.
+      std::optional<faults::RepairAction> action =
+          technician.inspect(fault->cause, rng);
+      if (!action.has_value()) {
+        std::optional<faults::RepairAction> recommendation;
+        if (policy.use_recommendation) {
+          recommendation = engine.recommend_link(link, false).action;
+        }
+        action = technician.choose_action(recommendation, /*attempt=*/1, rng);
+      }
+      // A shared fault spans several links; fix them all if the action is
+      // right, as replacing the shared component would.
+      const bool fixed = fault->fixed_by(*action);
+      if (fixed) injector.clear(id);
+      successes += fixed;
+      if (!fixed) injector.clear(id);  // Reset for the next ticket.
+    }
+    const double rate = static_cast<double>(successes) / kTickets;
+    std::printf("%-26s %11.1f%% %11.0f%%\n", policy.name, rate * 100.0,
+                policy.paper * 100.0);
+    std::printf("csv,sec72,%s,%.4f,%.2f\n", policy.name, rate, policy.paper);
+  }
+  std::printf(
+      "\nthe residual error with full compliance comes from symptom\n"
+      "ambiguity: back-reflection contamination looks like a healthy-power\n"
+      "transceiver fault, bad transceivers need a second visit after the\n"
+      "reseat, and co-located independent faults mimic shared components\n"
+      "(Section 4: 'the accuracy of our repair recommendations is not\n"
+      "100%%').\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Shared plumbing for the experiment harnesses in bench/.
+//
+// Every bench regenerates one exhibit (table or figure) of the paper and
+// prints it as aligned text plus, where a downstream plotting script is
+// expected, CSV rows prefixed with "csv," for easy grepping.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/time.h"
+#include "sim/mitigation_sim.h"
+#include "topology/fat_tree.h"
+#include "trace/trace.h"
+
+namespace corropt::bench {
+
+inline void print_header(const std::string& exhibit,
+                         const std::string& caption) {
+  std::printf("==================================================\n");
+  std::printf("%s\n%s\n", exhibit.c_str(), caption.c_str());
+  std::printf("==================================================\n");
+}
+
+inline std::vector<trace::TraceEvent> make_trace(
+    const topology::Topology& topo, double faults_per_link_per_day,
+    common::SimDuration duration, std::uint64_t seed) {
+  common::Rng rng(seed);
+  trace::TraceParams params;
+  params.faults_per_link_per_day = faults_per_link_per_day;
+  params.duration = duration;
+  return trace::CorruptionTraceGenerator(topo, params, rng).generate();
+}
+
+struct ScenarioOutcome {
+  sim::SimulationMetrics metrics;
+  std::size_t link_count = 0;
+};
+
+// The paper's two evaluation topologies (Section 7.1).
+enum class Dcn { kMedium, kLarge };
+
+inline topology::Topology build_dcn(Dcn dcn) {
+  return dcn == Dcn::kMedium ? topology::build_medium_dcn()
+                             : topology::build_large_dcn();
+}
+
+inline const char* dcn_name(Dcn dcn) {
+  return dcn == Dcn::kMedium ? "medium (~16K links)" : "large (~34K links)";
+}
+
+// Builds the topology fresh (simulations mutate link state), replays the
+// identical trace (same seed), and runs one scenario.
+inline ScenarioOutcome run_scenario(Dcn dcn, core::CheckerMode mode,
+                                    double capacity_fraction,
+                                    double faults_per_link_per_day,
+                                    common::SimDuration duration,
+                                    std::uint64_t trace_seed,
+                                    std::uint64_t sim_seed,
+                                    double first_attempt_success = 0.8) {
+  topology::Topology topo = build_dcn(dcn);
+  const auto events =
+      make_trace(topo, faults_per_link_per_day, duration, trace_seed);
+  sim::ScenarioConfig config;
+  config.mode = mode;
+  config.capacity_fraction = capacity_fraction;
+  config.duration = duration;
+  config.seed = sim_seed;
+  config.outcome.first_attempt_success = first_attempt_success;
+  sim::MitigationSimulation sim(topo, config);
+  ScenarioOutcome outcome;
+  outcome.metrics = sim.run(events);
+  outcome.link_count = topo.link_count();
+  return outcome;
+}
+
+// Default synthetic fault density (see DESIGN.md): dense enough that
+// multi-day repair times make 50-75% capacity constraints bind.
+inline constexpr double kFaultsPerLinkPerDay = 1.5e-4;
+
+inline const char* mode_name(core::CheckerMode mode) {
+  switch (mode) {
+    case core::CheckerMode::kSwitchLocal:
+      return "switch-local";
+    case core::CheckerMode::kFastCheckerOnly:
+      return "fast-checker";
+    case core::CheckerMode::kCorrOpt:
+      return "corropt";
+  }
+  return "?";
+}
+
+}  // namespace corropt::bench

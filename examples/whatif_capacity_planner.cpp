@@ -1,0 +1,67 @@
+// whatif_capacity_planner: pick a capacity constraint with data.
+//
+// The per-ToR capacity constraint trades corruption protection against
+// retained network capacity (Section 7.1, Figure 17): a lax constraint
+// lets CorrOpt disable every corrupting link; a tight one forces some to
+// stay in service. This tool sweeps the constraint over a synthetic
+// quarter of faults and prints the frontier — integrated corruption
+// penalty, links that could not be disabled, and average ToR capacity —
+// so an operator can choose c for their risk tolerance.
+//
+// Run: ./build/examples/whatif_capacity_planner [k] [faults/link/day]
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/mitigation_sim.h"
+#include "topology/fat_tree.h"
+#include "trace/trace.h"
+
+int main(int argc, char** argv) {
+  using namespace corropt;
+
+  const int k = argc > 1 ? std::atoi(argv[1]) : 16;
+  const double fault_rate = argc > 2 ? std::atof(argv[2]) : 0.006;
+
+  const common::SimDuration duration = 90 * common::kDay;
+  std::printf("capacity planning on a k=%d fat-tree, %.4f faults/link/day, "
+              "90 days\n\n",
+              k, fault_rate);
+  std::printf("%10s %18s %16s %14s %14s\n", "constraint",
+              "integrated penalty", "kept corrupting", "mean ToR cap",
+              "worst ToR cap");
+
+  for (const double c : {0.25, 0.50, 0.65, 0.75, 0.85, 0.90}) {
+    topology::Topology topo = topology::build_fat_tree(k);
+    common::Rng rng(99);  // Same trace for every constraint.
+    trace::TraceParams trace_params;
+    trace_params.duration = duration;
+    trace_params.faults_per_link_per_day = fault_rate;
+    const auto events =
+        trace::CorruptionTraceGenerator(topo, trace_params, rng).generate();
+
+    sim::ScenarioConfig config;
+    config.mode = core::CheckerMode::kCorrOpt;
+    config.capacity_fraction = c;
+    config.duration = duration;
+    config.seed = 7;
+    sim::MitigationSimulation sim(topo, config);
+    const sim::SimulationMetrics metrics = sim.run(events);
+
+    double worst = 1.0;
+    for (const sim::TimePoint& p : metrics.worst_tor_fraction) {
+      worst = std::min(worst, p.value);
+    }
+    std::printf("%9.0f%% %18.4e %16zu %13.2f%% %13.2f%%\n", c * 100.0,
+                metrics.integrated_penalty, metrics.undisabled_detections,
+                metrics.mean_tor_fraction * 100.0, worst * 100.0);
+  }
+
+  std::printf(
+      "\nreading the frontier: raising the constraint preserves capacity\n"
+      "but keeps more corrupting links in service; the paper operates at\n"
+      "50-75%% (Section 5.1).\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+#include "analysis/measurement_study.h"
+
+#include <algorithm>
+
+namespace corropt::analysis {
+
+MeasurementStudy::MeasurementStudy(const topology::Topology& topo,
+                                   StudyConfig config)
+    : topo_(&topo),
+      config_(config),
+      rng_(config.seed),
+      state_(topo, telemetry::default_tech()),
+      injector_(state_),
+      congestion_(topo, config.congestion, rng_) {
+  // Seed the corruption population. Faults are stable across the window
+  // (Section 3: corruption rate is stable over time), so one injection
+  // pass at t = 0 suffices.
+  faults::FaultFactory factory(topo, config_.mix, rng_);
+  const auto target = static_cast<std::size_t>(
+      config_.corrupting_link_fraction *
+      static_cast<double>(topo.link_count()));
+  std::vector<char> seeded(topo.link_count(), 0);
+  while (corrupting_.size() < target) {
+    const common::LinkId link(static_cast<common::LinkId::underlying_type>(
+        rng_.uniform_index(topo.link_count())));
+    if (seeded[link.index()] != 0) continue;
+    const faults::Fault fault = factory.make_random_fault(link, 0);
+    const std::vector<common::LinkId> links = fault.links;
+    injector_.inject(fault);
+    for (common::LinkId affected : links) {
+      if (seeded[affected.index()] != 0) continue;
+      seeded[affected.index()] = 1;
+      corrupting_.emplace_back(affected,
+                               state_.link_corruption_rate(affected));
+    }
+  }
+}
+
+void MeasurementStudy::run(
+    const std::function<void(const telemetry::PollSample&)>& visit) {
+  telemetry::PollingMonitor monitor(state_, rng_);
+  const telemetry::LoadProvider load =
+      [this](common::DirectionId dir, SimTime t) {
+        telemetry::DirectionLoad out;
+        out.utilization = congestion_.utilization(dir, t);
+        out.congestion_rate = congestion_.loss_rate(dir, out.utilization, t);
+        return out;
+      };
+  const SimTime end = config_.days * common::kDay;
+  for (SimTime t = 0; t < end; t += config_.epoch) {
+    for (const telemetry::PollSample& sample :
+         monitor.poll(t, config_.epoch, load)) {
+      visit(sample);
+    }
+  }
+}
+
+}  // namespace corropt::analysis

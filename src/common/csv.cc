@@ -1,0 +1,67 @@
+#include "common/csv.h"
+
+namespace corropt::common {
+
+namespace {
+
+bool needs_quoting(std::string_view field) {
+  return field.find_first_of(",\"\n") != std::string_view::npos;
+}
+
+std::string escape(std::string_view field) {
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) out_ << ',';
+    if (needs_quoting(fields[i])) {
+      out_ << escape(fields[i]);
+    } else {
+      out_ << fields[i];
+    }
+  }
+  out_ << '\n';
+}
+
+std::vector<std::string> parse_csv_row(std::string_view line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+}  // namespace corropt::common

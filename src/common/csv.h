@@ -1,0 +1,47 @@
+// Minimal CSV writing/parsing used by trace files and bench outputs.
+//
+// The dialect is deliberately simple: comma separator, quotes only when a
+// field contains a comma, quote, or newline, '\n' record terminator. That
+// matches what the analysis notebooks downstream of the benches expect.
+#pragma once
+
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace corropt::common {
+
+class CsvWriter {
+ public:
+  // The writer does not own the stream; it must outlive the writer.
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  // Writes one row; fields are escaped as needed.
+  void write_row(const std::vector<std::string>& fields);
+
+  // Convenience: formats heterogenous fields with operator<<.
+  template <typename... Ts>
+  void row(const Ts&... fields) {
+    std::vector<std::string> formatted;
+    formatted.reserve(sizeof...(fields));
+    (formatted.push_back(format(fields)), ...);
+    write_row(formatted);
+  }
+
+ private:
+  template <typename T>
+  static std::string format(const T& value) {
+    std::ostringstream os;
+    os << value;
+    return os.str();
+  }
+
+  std::ostream& out_;
+};
+
+// Splits one CSV record into fields, honouring quoted fields.
+[[nodiscard]] std::vector<std::string> parse_csv_row(std::string_view line);
+
+}  // namespace corropt::common

@@ -1,0 +1,69 @@
+// Strongly typed identifiers for topology entities.
+//
+// Switches, links and link directions are referred to by dense integer ids
+// so that per-entity state can live in flat vectors. Wrapping the integers
+// in distinct types prevents accidentally indexing a link table with a
+// switch id (and vice versa), a class of bug that plagues graph code.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace corropt::common {
+
+// CRTP-free tagged id. Each Tag instantiates an unrelated type.
+template <typename Tag>
+class Id {
+ public:
+  using underlying_type = std::uint32_t;
+
+  constexpr Id() = default;
+  constexpr explicit Id(underlying_type value) : value_(value) {}
+
+  [[nodiscard]] constexpr underlying_type value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != kInvalid; }
+
+  // Convenience for indexing flat vectors.
+  [[nodiscard]] constexpr std::size_t index() const { return value_; }
+
+  static constexpr Id invalid() { return Id{}; }
+
+  friend constexpr auto operator<=>(Id, Id) = default;
+
+ private:
+  static constexpr underlying_type kInvalid =
+      std::numeric_limits<underlying_type>::max();
+  underlying_type value_ = kInvalid;
+};
+
+struct SwitchTag {};
+struct LinkTag {};
+struct DirectionTag {};
+struct TicketTag {};
+struct FaultTag {};
+
+// A switch (ToR, aggregation, or spine).
+using SwitchId = Id<SwitchTag>;
+// A bidirectional physical link (fiber pair + two transceivers).
+using LinkId = Id<LinkTag>;
+// One direction of a physical link; 2 * LinkId and 2 * LinkId + 1.
+using DirectionId = Id<DirectionTag>;
+// A maintenance ticket.
+using TicketId = Id<TicketTag>;
+// An injected fault instance.
+using FaultId = Id<FaultTag>;
+
+}  // namespace corropt::common
+
+namespace std {
+template <typename Tag>
+struct hash<corropt::common::Id<Tag>> {
+  size_t operator()(corropt::common::Id<Tag> id) const noexcept {
+    return std::hash<typename corropt::common::Id<Tag>::underlying_type>{}(
+        id.value());
+  }
+};
+}  // namespace std

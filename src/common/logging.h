@@ -1,0 +1,56 @@
+// Lightweight leveled logging.
+//
+// Controllers and simulators log noteworthy events (link disabled, ticket
+// issued) at kInfo; benches run with kWarning to keep their stdout parseable.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace corropt::common {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Process-wide minimum level; messages below it are dropped.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+// Emits one line to stderr: "[LEVEL] message".
+void log_message(LogLevel level, std::string_view message);
+
+namespace internal {
+
+// Builds the message lazily; destructor emits it.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log_message(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define CORROPT_LOG(level)                                        \
+  if (static_cast<int>(level) <                                   \
+      static_cast<int>(::corropt::common::log_level())) {         \
+  } else                                                          \
+    ::corropt::common::internal::LogLine(level)
+
+#define CORROPT_LOG_DEBUG CORROPT_LOG(::corropt::common::LogLevel::kDebug)
+#define CORROPT_LOG_INFO CORROPT_LOG(::corropt::common::LogLevel::kInfo)
+#define CORROPT_LOG_WARNING CORROPT_LOG(::corropt::common::LogLevel::kWarning)
+#define CORROPT_LOG_ERROR CORROPT_LOG(::corropt::common::LogLevel::kError)
+
+}  // namespace corropt::common

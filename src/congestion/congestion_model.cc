@@ -1,0 +1,117 @@
+#include "congestion/congestion_model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace corropt::congestion {
+
+namespace {
+
+std::uint64_t mix(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+CongestionModel::CongestionModel(const topology::Topology& topo,
+                                 CongestionParams params, common::Rng& rng)
+    : topo_(&topo), params_(params), seed_(rng()) {
+  hotspot_switch_.assign(topo.switch_count(), false);
+  int max_pod = -1;
+  for (const topology::Switch& sw : topo.switches()) {
+    max_pod = std::max(max_pod, sw.pod);
+  }
+  hot_pod_.assign(static_cast<std::size_t>(max_pod + 1), false);
+  bool any_hot = false;
+  for (std::size_t p = 0; p < hot_pod_.size(); ++p) {
+    hot_pod_[p] = rng.bernoulli(params_.hotspot_pod_fraction);
+    any_hot = any_hot || hot_pod_[p];
+  }
+  // A DCN always has at least one hot service somewhere; without this,
+  // small topologies occasionally draw zero hot pods and show no
+  // congestion at all.
+  if (!any_hot && !hot_pod_.empty() && params_.hotspot_pod_fraction > 0.0) {
+    hot_pod_[rng.uniform_index(hot_pod_.size())] = true;
+  }
+  for (std::size_t i = 0; i < topo.switch_count(); ++i) {
+    hotspot_switch_[i] = rng.bernoulli(params_.hotspot_switch_fraction);
+  }
+
+  hot_direction_.assign(topo.direction_count(), false);
+  for (const topology::Link& link : topo.links()) {
+    const topology::Switch& lower = topo.switch_at(link.lower);
+    const topology::Switch& upper = topo.switch_at(link.upper);
+    // Hot-pod congestion lives on intra-pod links (both endpoints in the
+    // same hot pod); scattered hotspot switches heat every incident link.
+    const bool pod_hot = lower.pod >= 0 && lower.pod == upper.pod &&
+                         is_hot_pod(lower.pod);
+    const bool switch_hot = hotspot_switch_[lower.id.index()] ||
+                            hotspot_switch_[upper.id.index()];
+    if (!pod_hot && !switch_hot) continue;
+    const bool both = rng.bernoulli(params_.hotspot_bidirectional);
+    const bool up_hot = both || rng.bernoulli(0.5);
+    const auto up = topology::direction_id(link.id,
+                                           topology::LinkDirection::kUp);
+    const auto down = topology::direction_id(link.id,
+                                             topology::LinkDirection::kDown);
+    hot_direction_[up.index()] = up_hot;
+    hot_direction_[down.index()] = both || !up_hot;
+  }
+
+  phase_.resize(topo.direction_count());
+  for (double& p : phase_) {
+    p = rng.uniform(0.0, 2.0 * std::numbers::pi);
+  }
+  severity_.resize(topo.direction_count());
+  for (double& s : severity_) {
+    s = std::exp(params_.severity_sigma * rng.normal());
+  }
+}
+
+double CongestionModel::stable_noise(DirectionId dir, SimTime t,
+                                     unsigned salt) const {
+  const auto epoch = static_cast<std::uint64_t>(t / common::kPollInterval);
+  std::uint64_t h = seed_;
+  h = mix(h ^ (static_cast<std::uint64_t>(dir.value()) << 20));
+  h = mix(h ^ epoch);
+  h = mix(h ^ salt);
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+double CongestionModel::utilization(DirectionId dir, SimTime t) const {
+  const double day_fraction =
+      static_cast<double>(t % common::kDay) / static_cast<double>(common::kDay);
+  double u = params_.base_utilization +
+             params_.diurnal_amplitude *
+                 std::sin(2.0 * std::numbers::pi * day_fraction +
+                          phase_[dir.index()]);
+  if (is_hot(dir)) u += params_.hotspot_extra_utilization;
+  u += params_.utilization_noise * (2.0 * stable_noise(dir, t, 1) - 1.0);
+  return std::clamp(u, 0.02, 0.98);
+}
+
+double CongestionModel::loss_rate(DirectionId dir, double utilization,
+                                  SimTime t) const {
+  if (utilization <= params_.knee_utilization) return 0.0;
+  const double headroom = 1.0 - params_.knee_utilization;
+  const double excess = (utilization - params_.knee_utilization) / headroom;
+  // Deterministic lognormal jitter (Box-Muller over stable uniforms) so
+  // the loss series is reproducible per (direction, epoch).
+  const double u1 = std::max(stable_noise(dir, t, 2), 1e-12);
+  const double u2 = stable_noise(dir, t, 3);
+  const double gauss = std::sqrt(-2.0 * std::log(u1)) *
+                       std::cos(2.0 * std::numbers::pi * u2);
+  const double jitter = std::exp(params_.loss_jitter_sigma * gauss);
+  const double rate = severity_[dir.index()] * params_.loss_scale *
+                      std::pow(excess, params_.loss_exponent) * jitter;
+  return std::min(rate, 0.5);
+}
+
+}  // namespace corropt::congestion

@@ -1,0 +1,103 @@
+// Congestion loss model for the measurement-study contrast figures.
+//
+// The paper contrasts corruption with congestion along five axes
+// (Section 3): congestion affects more links at lower loss rates
+// (Table 1), varies strongly over time (Figure 2), correlates with
+// outgoing utilization (Figure 3), clusters spatially (Figure 4) and is
+// usually bidirectional (Figure 5). This module generates per-direction
+// utilization and congestion-loss processes with those properties:
+// congestion concentrates in "hot pods" (a rack cluster serving a hot
+// service), which yields the strong per-switch locality the paper
+// measures, and most — but not all — hot links run hot in both
+// directions.
+#pragma once
+
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/time.h"
+#include "topology/topology.h"
+
+namespace corropt::congestion {
+
+using common::DirectionId;
+using common::SimTime;
+using common::SwitchId;
+
+struct CongestionParams {
+  // Baseline diurnal utilization: u(t) = base + amplitude * sin(...) +
+  // noise, clamped to [0.02, 0.98]. The defaults keep cold links below
+  // the loss knee.
+  double base_utilization = 0.25;
+  double diurnal_amplitude = 0.15;
+  double utilization_noise = 0.05;
+
+  // Fraction of pods whose intra-pod (ToR <-> aggregation) links run
+  // hot: the spatial-locality driver of Figure 4.
+  double hotspot_pod_fraction = 0.10;
+  // Fraction of individual switches that additionally run hot on all
+  // incident links (scattered hotspots).
+  double hotspot_switch_fraction = 0.003;
+  double hotspot_extra_utilization = 0.45;
+  // Fraction of hot links that are hot in both directions (Figure 5:
+  // 72.7% of congested links lose packets bidirectionally).
+  double hotspot_bidirectional = 0.75;
+
+  // Loss curve: no loss below the knee; above it the loss rate grows as
+  // severity * scale * ((u - knee) / (1 - knee))^exponent with lognormal
+  // temporal jitter. Per-direction severity is itself lognormal, which
+  // spreads weekly aggregate rates across the Table 1 buckets.
+  double knee_utilization = 0.55;
+  double loss_scale = 4e-6;
+  double loss_exponent = 3.0;
+  double loss_jitter_sigma = 1.3;    // temporal lognormal jitter
+  double severity_sigma = 2.0;       // per-direction persistent severity
+};
+
+class CongestionModel {
+ public:
+  CongestionModel(const topology::Topology& topo, CongestionParams params,
+                  common::Rng& rng);
+
+  // Offered utilization for a direction at a moment of simulated time.
+  // Deterministic in (direction, time) given the construction seed, so a
+  // week of polls for one link forms a coherent diurnal series.
+  [[nodiscard]] double utilization(DirectionId dir, SimTime t) const;
+
+  // Congestion loss probability implied by a utilization sample.
+  [[nodiscard]] double loss_rate(DirectionId dir, double utilization,
+                                 SimTime t) const;
+
+  [[nodiscard]] bool is_hotspot_switch(SwitchId sw) const {
+    return hotspot_switch_[sw.index()];
+  }
+  [[nodiscard]] bool is_hot_pod(int pod) const {
+    return pod >= 0 && static_cast<std::size_t>(pod) < hot_pod_.size() &&
+           hot_pod_[static_cast<std::size_t>(pod)];
+  }
+  // True when this direction runs hot (hot-pod intra-pod link, or a link
+  // incident to a hotspot switch), accounting for the unidirectional
+  // minority.
+  [[nodiscard]] bool is_hot(DirectionId dir) const {
+    return hot_direction_[dir.index()];
+  }
+
+ private:
+  // Hash-derived stable per-(direction, epoch) uniform in [0, 1).
+  [[nodiscard]] double stable_noise(DirectionId dir, SimTime t,
+                                    unsigned salt) const;
+
+  const topology::Topology* topo_;
+  CongestionParams params_;
+  std::uint64_t seed_;
+  std::vector<bool> hotspot_switch_;
+  std::vector<bool> hot_pod_;
+  std::vector<bool> hot_direction_;
+  // Per-direction random phase for the diurnal cycle.
+  std::vector<double> phase_;
+  // Per-direction persistent loss severity multiplier.
+  std::vector<double> severity_;
+};
+
+}  // namespace corropt::congestion

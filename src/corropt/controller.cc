@@ -1,0 +1,129 @@
+#include "corropt/controller.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace corropt::core {
+
+Controller::Controller(topology::Topology& topo, ControllerConfig config,
+                       PenaltyFunction penalty)
+    : topo_(&topo),
+      config_(config),
+      penalty_(penalty),
+      constraint_(config.capacity_fraction),
+      fast_checker_(topo, constraint_),
+      switch_local_(topo, switch_local_threshold(config.capacity_fraction,
+                                                 std::max(1, topo.top_level()))),
+      optimizer_(topo, constraint_, penalty, config.optimizer) {}
+
+void Controller::enable_audit_log(std::size_t capacity) {
+  audit_enabled_ = true;
+  audit_capacity_ = capacity;
+}
+
+void Controller::audit(ActionRecord record) {
+  if (!audit_enabled_) return;
+  if (audit_log_.size() >= audit_capacity_) audit_log_.pop_front();
+  audit_log_.push_back(record);
+}
+
+void Controller::issue_ticket(common::LinkId link) {
+  ++stats_.tickets_issued;
+  audit({ActionRecord::Kind::kTicketIssued, link, corruption_.rate(link), 0});
+  if (ticket_callback_) ticket_callback_(link);
+}
+
+bool Controller::arrival_disable(common::LinkId link) {
+  switch (config_.mode) {
+    case CheckerMode::kSwitchLocal:
+      return switch_local_.try_disable(link);
+    case CheckerMode::kFastCheckerOnly:
+    case CheckerMode::kCorrOpt: {
+      if (config_.account_collateral_repair) {
+        // Conservative: capacity must hold even while the link's healthy
+        // breakout siblings are down for the repair.
+        std::vector<common::LinkId> peers = topo_->breakout_peers(link);
+        peers.erase(std::remove(peers.begin(), peers.end(), link),
+                    peers.end());
+        if (!topo_->is_enabled(link) ||
+            !fast_checker_.can_disable(link, peers)) {
+          return topo_->is_enabled(link) ? false : true;
+        }
+        topo_->set_enabled(link, false);
+        return true;
+      }
+      return fast_checker_.try_disable(link);
+    }
+  }
+  return false;
+}
+
+bool Controller::on_corruption_detected(common::LinkId link,
+                                        double loss_rate) {
+  ++stats_.corruption_reports;
+  corruption_.mark(link, loss_rate);
+  if (!topo_->is_enabled(link)) return false;  // Already off (e.g. peer).
+  if (arrival_disable(link)) {
+    ++stats_.disabled_on_arrival;
+    CORROPT_LOG_INFO << "controller: disabled corrupting link "
+                     << link.value() << " (loss rate " << loss_rate << ")";
+    audit({ActionRecord::Kind::kDisabled, link, loss_rate, 0});
+    issue_ticket(link);
+    return true;
+  }
+  CORROPT_LOG_INFO << "controller: corrupting link " << link.value()
+                   << " kept active: capacity constraint would be violated";
+  audit({ActionRecord::Kind::kRefusedCapacity, link, loss_rate, 0});
+  return false;
+}
+
+void Controller::recheck_all_active() {
+  // Re-examine active corrupting links in detection order, mirroring the
+  // production systems the paper describes: the recheck is a plain
+  // re-run over the waiting list, with no awareness of loss rates. The
+  // optimizer's penalty-aware subset selection is exactly what this
+  // baseline lacks (Figure 18).
+  const std::vector<common::LinkId> active =
+      corruption_.active_in_detection_order(*topo_);
+  for (common::LinkId link : active) {
+    if (arrival_disable(link)) {
+      ++stats_.disabled_on_activation;
+      audit({ActionRecord::Kind::kDisabled, link, corruption_.rate(link), 0});
+      issue_ticket(link);
+    }
+  }
+}
+
+void Controller::on_link_repaired(common::LinkId link) {
+  corruption_.unmark(link);
+  topo_->set_enabled(link, true);
+  audit({ActionRecord::Kind::kEnabled, link, 0.0, 0});
+  switch (config_.mode) {
+    case CheckerMode::kSwitchLocal:
+    case CheckerMode::kFastCheckerOnly:
+      recheck_all_active();
+      break;
+    case CheckerMode::kCorrOpt: {
+      ++stats_.optimizer_runs;
+      const OptimizerResult result = optimizer_.run(corruption_);
+      stats_.disabled_on_activation += result.disabled.size();
+      audit({ActionRecord::Kind::kOptimizerRun, common::LinkId(), 0.0,
+             result.disabled.size()});
+      for (common::LinkId disabled : result.disabled) {
+        audit({ActionRecord::Kind::kDisabled, disabled,
+               corruption_.rate(disabled), 0});
+        issue_ticket(disabled);
+      }
+      break;
+    }
+  }
+}
+
+void Controller::on_corruption_cleared(common::LinkId link) {
+  audit({ActionRecord::Kind::kCorruptionCleared, link,
+         corruption_.rate(link), 0});
+  corruption_.unmark(link);
+}
+
+}  // namespace corropt::core

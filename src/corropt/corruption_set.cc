@@ -1,0 +1,59 @@
+#include "corropt/corruption_set.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace corropt::core {
+
+void CorruptionSet::mark(LinkId link, double loss_rate) {
+  assert(loss_rate >= 0.0);
+  const auto it = entries_.find(link);
+  if (it != entries_.end()) {
+    it->second.rate = loss_rate;
+    return;
+  }
+  entries_.emplace(link, Entry{loss_rate, next_seq_++});
+}
+
+void CorruptionSet::unmark(LinkId link) { entries_.erase(link); }
+
+double CorruptionSet::rate(LinkId link) const {
+  const auto it = entries_.find(link);
+  return it == entries_.end() ? 0.0 : it->second.rate;
+}
+
+std::vector<LinkId> CorruptionSet::active(
+    const topology::Topology& topo) const {
+  std::vector<LinkId> out;
+  out.reserve(entries_.size());
+  for (const auto& [link, entry] : entries_) {
+    if (topo.is_enabled(link)) out.push_back(link);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<LinkId> CorruptionSet::active_in_detection_order(
+    const topology::Topology& topo) const {
+  std::vector<std::pair<std::uint64_t, LinkId>> ordered;
+  ordered.reserve(entries_.size());
+  for (const auto& [link, entry] : entries_) {
+    if (topo.is_enabled(link)) ordered.emplace_back(entry.detected_seq, link);
+  }
+  std::sort(ordered.begin(), ordered.end());
+  std::vector<LinkId> out;
+  out.reserve(ordered.size());
+  for (const auto& [seq, link] : ordered) out.push_back(link);
+  return out;
+}
+
+double CorruptionSet::total_active_penalty(
+    const topology::Topology& topo, const PenaltyFunction& penalty) const {
+  double total = 0.0;
+  for (const auto& [link, entry] : entries_) {
+    if (topo.is_enabled(link)) total += penalty(entry.rate);
+  }
+  return total;
+}
+
+}  // namespace corropt::core

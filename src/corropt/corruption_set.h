@@ -1,0 +1,72 @@
+// Registry of links currently corrupting packets.
+//
+// The controller marks a link here when the monitoring pipeline reports a
+// corruption loss rate above the lossy threshold (the paper conservatively
+// uses 1e-8, per the IEEE 802.3 requirement) and unmarks it when a repair
+// eliminates the corruption. Checkers and the optimizer read this set to
+// know which enabled links still incur penalty and which disabled links
+// await repair.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "corropt/penalty.h"
+#include "topology/topology.h"
+
+namespace corropt::core {
+
+using common::LinkId;
+
+// The IEEE 802.3 corruption threshold the paper adopts for deeming a link
+// lossy (Section 3, footnote 2).
+inline constexpr double kLossyThreshold = 1e-8;
+
+class CorruptionSet {
+ public:
+  struct Entry {
+    double rate = 0.0;
+    // Monotonic detection sequence number: lower = detected earlier.
+    // Re-marking an already-known link updates the rate but keeps the
+    // original detection position.
+    std::uint64_t detected_seq = 0;
+  };
+
+  // Marks a link as corrupting with the given link-level loss rate
+  // (the worse direction); updates the rate if already marked.
+  void mark(LinkId link, double loss_rate);
+  void unmark(LinkId link);
+
+  [[nodiscard]] bool contains(LinkId link) const {
+    return entries_.contains(link);
+  }
+  // Loss rate of a marked link; 0 for unmarked links.
+  [[nodiscard]] double rate(LinkId link) const;
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  [[nodiscard]] const std::unordered_map<LinkId, Entry>& entries() const {
+    return entries_;
+  }
+
+  // Corrupting links that are still enabled (and hence incur penalty),
+  // in increasing link-id order.
+  [[nodiscard]] std::vector<LinkId> active(
+      const topology::Topology& topo) const;
+
+  // Same set, ordered by detection time (the naive re-check order of the
+  // production system the paper describes).
+  [[nodiscard]] std::vector<LinkId> active_in_detection_order(
+      const topology::Topology& topo) const;
+
+  // Total penalty per unit time of active corrupting links:
+  // sum of I(f_l) over enabled corrupting links.
+  [[nodiscard]] double total_active_penalty(
+      const topology::Topology& topo, const PenaltyFunction& penalty) const;
+
+ private:
+  std::unordered_map<LinkId, Entry> entries_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace corropt::core

@@ -1,0 +1,114 @@
+#include "corropt/fast_checker.h"
+
+#include <algorithm>
+
+namespace corropt::core {
+
+FastChecker::FastChecker(topology::Topology& topo,
+                         const CapacityConstraint& constraint)
+    : topo_(&topo), constraint_(&constraint), paths_(topo) {
+  in_closure_.assign(topo.switch_count(), 0);
+  slot_.assign(topo.switch_count(), -1);
+}
+
+void FastChecker::refresh_cache() {
+  if (cache_valid_ && cached_version_ == topo_->state_version()) return;
+  cached_counts_ = paths_.up_paths();
+  cached_version_ = topo_->state_version();
+  cache_valid_ = true;
+}
+
+FastChecker::ClosureResult FastChecker::evaluate_closure(
+    common::LinkId link) {
+  // Downward closure of the link's lower endpoint: exactly the switches
+  // whose up-path counts the removal can change.
+  closure_.clear();
+  const common::SwitchId root = topo_->link_at(link).lower;
+  closure_.push_back(root);
+  in_closure_[root.index()] = 1;
+  for (std::size_t i = 0; i < closure_.size(); ++i) {
+    for (common::LinkId downlink : topo_->switch_at(closure_[i]).downlinks) {
+      if (!topo_->is_enabled(downlink)) continue;
+      const common::SwitchId lower = topo_->link_at(downlink).lower;
+      if (in_closure_[lower.index()] == 0) {
+        in_closure_[lower.index()] = 1;
+        closure_.push_back(lower);
+      }
+    }
+  }
+  // BFS discovery order is not level order; sort by level descending so
+  // every switch is recomputed after the uppers it reads from.
+  std::sort(closure_.begin(), closure_.end(),
+            [this](common::SwitchId a, common::SwitchId b) {
+              return topo_->switch_at(a).level > topo_->switch_at(b).level;
+            });
+
+  ClosureResult result;
+  result.updates.reserve(closure_.size());
+  // New counts for closure members (dense slots); switches outside the
+  // closure read from the cache — their counts cannot change.
+  std::vector<std::uint64_t> new_counts(closure_.size(), 0);
+  for (std::size_t i = 0; i < closure_.size(); ++i) {
+    slot_[closure_[i].index()] = static_cast<std::int32_t>(i);
+  }
+
+  for (std::size_t i = 0; i < closure_.size(); ++i) {
+    const topology::Switch& sw = topo_->switch_at(closure_[i]);
+    std::uint64_t total = 0;
+    for (common::LinkId uplink : sw.uplinks) {
+      if (uplink == link || !topo_->is_enabled(uplink)) continue;
+      const common::SwitchId upper = topo_->link_at(uplink).upper;
+      const std::int32_t upper_slot = slot_[upper.index()];
+      total += upper_slot >= 0
+                   ? new_counts[static_cast<std::size_t>(upper_slot)]
+                   : cached_counts_[upper.index()];
+    }
+    new_counts[i] = total;
+    result.updates.emplace_back(closure_[i], total);
+    if (sw.level == 0) {
+      const std::uint64_t required = constraint_->min_paths(
+          sw.id, paths_.design_paths()[sw.id.index()]);
+      if (total < required) result.feasible = false;
+    }
+  }
+
+  // Clear scratch flags.
+  for (common::SwitchId id : closure_) {
+    in_closure_[id.index()] = 0;
+    slot_[id.index()] = -1;
+  }
+  return result;
+}
+
+bool FastChecker::can_disable(common::LinkId link) {
+  if (!topo_->is_enabled(link)) return true;
+  refresh_cache();
+  return evaluate_closure(link).feasible;
+}
+
+bool FastChecker::can_disable(
+    common::LinkId link, std::span<const common::LinkId> also_off) const {
+  if (!topo_->is_enabled(link)) return true;
+  LinkMask off(topo_->link_count(), 0);
+  off[link.index()] = 1;
+  for (common::LinkId extra : also_off) off[extra.index()] = 1;
+  const std::vector<std::uint64_t> counts = paths_.up_paths(&off);
+  return paths_.feasible(counts, *constraint_);
+}
+
+bool FastChecker::try_disable(common::LinkId link) {
+  if (!topo_->is_enabled(link)) return true;
+  refresh_cache();
+  const ClosureResult result = evaluate_closure(link);
+  if (!result.feasible) return false;
+  topo_->set_enabled(link, false);
+  // Fold the closure's new counts into the cache so consecutive
+  // decisions stay incremental.
+  for (const auto& [sw, value] : result.updates) {
+    cached_counts_[sw.index()] = value;
+  }
+  cached_version_ = topo_->state_version();
+  return true;
+}
+
+}  // namespace corropt::core

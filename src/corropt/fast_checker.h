@@ -1,0 +1,85 @@
+// CorrOpt's fast checker (Section 5.1).
+//
+// When a link starts corrupting packets the controller must decide
+// immediately whether disabling it is safe. Conceptually the checker
+// recounts every ToR's valley-free paths with the candidate link removed
+// and disables it iff no capacity constraint would be violated. Following
+// the paper's implementation note — "we check the downstream of l,
+// updating the path counts with the same method, beginning with the
+// switch directly downstream of l" — the checker caches the network's
+// path counts and, per decision, recomputes only the downward closure of
+// the candidate's lower endpoint: O(1) work per link of the affected
+// subtree rather than of the whole DCN. A topology state-version counter
+// keeps the cache coherent when other actors (the optimizer, repairs)
+// flip links.
+//
+// Precondition for the incremental path: the network currently satisfies
+// every ToR's constraint (the controller maintains this invariant). ToRs
+// outside the candidate's downstream closure keep their path counts, so
+// only closure ToRs need rechecking.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/ids.h"
+#include "corropt/capacity.h"
+#include "corropt/path_counter.h"
+#include "topology/topology.h"
+
+namespace corropt::core {
+
+class FastChecker {
+ public:
+  // The checker mutates link state on `topo` when it disables a link.
+  FastChecker(topology::Topology& topo, const CapacityConstraint& constraint);
+
+  // Returns true (and disables `link`) when the network stays feasible
+  // with `link` off; otherwise leaves the link enabled and returns false.
+  // Already-disabled links return true (idempotent).
+  bool try_disable(common::LinkId link);
+
+  // Whether disabling `link` would keep every ToR feasible, without
+  // changing any state. Incremental (downstream-closure) evaluation.
+  [[nodiscard]] bool can_disable(common::LinkId link);
+
+  // Whether disabling `link` stays feasible even while `also_off` links
+  // are simultaneously out of service. Used for collateral-aware
+  // decisions (Section 8): repairing a breakout leg takes the healthy
+  // siblings down too, so the conservative check masks the whole bundle.
+  // Always evaluated with a full sweep.
+  [[nodiscard]] bool can_disable(common::LinkId link,
+                                 std::span<const common::LinkId> also_off)
+      const;
+
+  [[nodiscard]] const PathCounter& paths() const { return paths_; }
+
+ private:
+  struct ClosureResult {
+    bool feasible = true;
+    // (switch, new up-path count) pairs for the downstream closure,
+    // applied to the cache when the disable goes through.
+    std::vector<std::pair<common::SwitchId, std::uint64_t>> updates;
+  };
+
+  // Recomputes cached path counts from scratch when the topology changed
+  // behind our back.
+  void refresh_cache();
+  // Evaluates the downstream closure of `link`'s lower endpoint with the
+  // link masked off.
+  ClosureResult evaluate_closure(common::LinkId link);
+
+  topology::Topology* topo_;
+  const CapacityConstraint* constraint_;
+  PathCounter paths_;
+  std::vector<std::uint64_t> cached_counts_;
+  std::uint64_t cached_version_ = 0;
+  bool cache_valid_ = false;
+  // Scratch for closure traversal.
+  std::vector<char> in_closure_;
+  std::vector<common::SwitchId> closure_;
+  std::vector<std::int32_t> slot_;
+};
+
+}  // namespace corropt::core

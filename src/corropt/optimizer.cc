@@ -1,0 +1,295 @@
+#include "corropt/optimizer.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/logging.h"
+
+namespace corropt::core {
+
+// Upstream closure of one segment's endangered ToRs, prepared for fast
+// repeated sweeps: switches ordered top level first so that each sweep is
+// a single pass.
+struct Optimizer::Region {
+  std::vector<SwitchId> sweep_order;
+  std::vector<SwitchId> tors;
+};
+
+Optimizer::Optimizer(topology::Topology& topo,
+                     const CapacityConstraint& constraint,
+                     PenaltyFunction penalty, OptimizerConfig config)
+    : topo_(&topo),
+      constraint_(&constraint),
+      penalty_(penalty),
+      config_(config),
+      paths_(topo) {
+  scratch_paths_.resize(topo.switch_count(), 0);
+  scratch_off_.assign(topo.link_count(), 0);
+}
+
+bool Optimizer::region_feasible(const Region& region, const Segment& segment,
+                                const std::vector<char>& selected) {
+  // Mark selected candidates as off.
+  for (std::size_t i = 0; i < segment.links.size(); ++i) {
+    if (selected[i] != 0) scratch_off_[segment.links[i].index()] = 1;
+  }
+
+  const int top = topo_->top_level();
+  for (SwitchId id : region.sweep_order) {
+    const topology::Switch& sw = topo_->switch_at(id);
+    if (sw.level == top) {
+      scratch_paths_[id.index()] = 1;
+      continue;
+    }
+    std::uint64_t total = 0;
+    for (LinkId uplink : sw.uplinks) {
+      if (!topo_->is_enabled(uplink)) continue;
+      if (scratch_off_[uplink.index()] != 0) continue;
+      total += scratch_paths_[topo_->link_at(uplink).upper.index()];
+    }
+    scratch_paths_[id.index()] = total;
+  }
+
+  bool ok = true;
+  for (SwitchId tor : region.tors) {
+    const std::uint64_t required =
+        constraint_->min_paths(tor, paths_.design_paths()[tor.index()]);
+    if (scratch_paths_[tor.index()] < required) {
+      ok = false;
+      break;
+    }
+  }
+
+  for (std::size_t i = 0; i < segment.links.size(); ++i) {
+    if (selected[i] != 0) scratch_off_[segment.links[i].index()] = 0;
+  }
+  return ok;
+}
+
+Optimizer::SegmentSolution Optimizer::solve_segment(
+    const Segment& segment, const CorruptionSet& corruption,
+    OptimizerResult& result) {
+  assert(!segment.links.empty());
+  const std::size_t n = segment.links.size();
+
+  // Build the sweep region for this segment's ToRs.
+  Region region;
+  region.tors = segment.tors;
+  {
+    std::vector<char> visited(topo_->switch_count(), 0);
+    std::vector<SwitchId> frontier(segment.tors.begin(), segment.tors.end());
+    for (SwitchId id : frontier) visited[id.index()] = 1;
+    std::vector<SwitchId> members = frontier;
+    while (!frontier.empty()) {
+      const SwitchId current = frontier.back();
+      frontier.pop_back();
+      for (LinkId uplink : topo_->switch_at(current).uplinks) {
+        const SwitchId upper = topo_->link_at(uplink).upper;
+        if (!visited[upper.index()]) {
+          visited[upper.index()] = 1;
+          frontier.push_back(upper);
+          members.push_back(upper);
+        }
+      }
+    }
+    std::sort(members.begin(), members.end(),
+              [this](SwitchId a, SwitchId b) {
+                return topo_->switch_at(a).level > topo_->switch_at(b).level;
+              });
+    region.sweep_order = std::move(members);
+  }
+
+  std::vector<double> link_penalty(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    link_penalty[i] = penalty_(corruption.rate(segment.links[i]));
+  }
+  auto to_selected = [n](std::uint32_t mask) {
+    std::vector<char> selected(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      if ((mask >> i) & 1u) selected[i] = 1;
+    }
+    return selected;
+  };
+  auto selected_penalty = [&](const std::vector<char>& selected) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (selected[i] != 0) total += link_penalty[i];
+    }
+    return total;
+  };
+
+  // Greedy fallback for over-budget segments (no bitmask: segments can
+  // be arbitrarily wide here).
+  if (n > config_.max_exact_segment || n >= 31) {
+    std::vector<std::size_t> order(n);
+    for (std::size_t i = 0; i < n; ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return link_penalty[a] > link_penalty[b];
+    });
+    std::vector<char> selected(n, 0);
+    for (std::size_t i : order) {
+      selected[i] = 1;
+      ++result.subsets_evaluated;
+      if (!region_feasible(region, segment, selected)) selected[i] = 0;
+    }
+    CORROPT_LOG_WARNING << "optimizer: segment of " << n
+                        << " links exceeded exact budget; greedy fallback";
+    return {selected, selected_penalty(selected), /*exact=*/false};
+  }
+
+  // Pre-filter: a candidate infeasible on its own can never be part of a
+  // feasible subset (feasibility is monotone), so drop it outright.
+  std::vector<std::size_t> survivors;
+  SegmentSolution best;
+  best.selected.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (config_.prefilter_singletons) {
+      ++result.subsets_evaluated;
+      const std::vector<char> single =
+          to_selected(static_cast<std::uint32_t>(1u << i));
+      if (!region_feasible(region, segment, single)) continue;
+      if (link_penalty[i] > best.penalty) {
+        best = {single, link_penalty[i], true};
+      }
+    }
+    survivors.push_back(i);
+  }
+  if (survivors.empty()) return best;
+
+  // Whole surviving set feasible? Most runs end here.
+  std::uint32_t full = 0;
+  for (std::size_t i : survivors) full |= 1u << i;
+  ++result.subsets_evaluated;
+  {
+    const std::vector<char> all = to_selected(full);
+    if (region_feasible(region, segment, all)) {
+      return {all, selected_penalty(all), true};
+    }
+  }
+
+  // Exact enumeration over survivor subsets in increasing size with a
+  // reject cache of minimal infeasible subsets. Because sizes ascend,
+  // any infeasible subset that was not skipped is minimal. Masks fit in
+  // 32 bits: the exact path only runs for n <= min(max_exact_segment, 30).
+  std::vector<std::uint32_t> reject_cache;
+  const std::size_t m = survivors.size();
+  // Iterate subsets of the survivor index space via Gosper's hack.
+  for (std::size_t size = config_.prefilter_singletons ? 2 : 1; size < m;
+       ++size) {
+    std::uint32_t subset = (1u << size) - 1;
+    const std::uint32_t limit = 1u << m;
+    while (subset < limit) {
+      // Expand survivor-space subset into link-space mask.
+      std::uint32_t mask = 0;
+      for (std::size_t j = 0; j < m; ++j) {
+        if ((subset >> j) & 1u) mask |= 1u << survivors[j];
+      }
+      bool skipped = false;
+      if (config_.use_reject_cache) {
+        for (std::uint32_t rejected : reject_cache) {
+          if ((mask & rejected) == rejected) {
+            ++result.cache_skips;
+            skipped = true;
+            break;
+          }
+        }
+      }
+      if (!skipped) {
+        ++result.subsets_evaluated;
+        const std::vector<char> selected = to_selected(mask);
+        if (region_feasible(region, segment, selected)) {
+          const double p = selected_penalty(selected);
+          if (p > best.penalty) best = {selected, p, true};
+        } else if (config_.use_reject_cache) {
+          reject_cache.push_back(mask);
+        }
+      }
+      // Gosper's hack: next subset of the same popcount.
+      const std::uint32_t c = subset & (~subset + 1);
+      const std::uint32_t r = subset + c;
+      subset = (((r ^ subset) >> 2) / c) | r;
+    }
+  }
+  return best;
+}
+
+OptimizerResult Optimizer::run(const CorruptionSet& corruption) {
+  OptimizerResult result;
+  const std::vector<LinkId> candidates = corruption.active(*topo_);
+  if (candidates.empty()) {
+    result.remaining_penalty = 0.0;
+    return result;
+  }
+
+  std::vector<LinkId> to_disable;
+  std::vector<LinkId> contested = candidates;
+  std::vector<SwitchId> endangered;
+
+  if (config_.use_pruning) {
+    // Hypothetically disable everything and see which ToRs complain.
+    LinkMask all_off(topo_->link_count(), 0);
+    for (LinkId link : candidates) all_off[link.index()] = 1;
+    const std::vector<std::uint64_t> counts = paths_.up_paths(&all_off);
+    endangered = paths_.violated_tors(counts, *constraint_);
+    if (endangered.empty()) {
+      // The full set is feasible: disable everything.
+      for (LinkId link : candidates) topo_->set_enabled(link, false);
+      result.disabled = candidates;
+      for (LinkId link : candidates) {
+        result.disabled_penalty += penalty_(corruption.rate(link));
+      }
+      result.remaining_penalty =
+          corruption.total_active_penalty(*topo_, penalty_);
+      return result;
+    }
+    // Links not upstream of any endangered ToR are safe.
+    const LinkMask upstream = paths_.upstream_links(endangered);
+    contested.clear();
+    for (LinkId link : candidates) {
+      if (upstream[link.index()] != 0) {
+        contested.push_back(link);
+      } else {
+        to_disable.push_back(link);
+        ++result.pruned_safe_disables;
+      }
+    }
+  } else {
+    endangered = topo_->tors();
+  }
+
+  std::vector<Segment> segments;
+  if (config_.use_segmentation) {
+    segments = segment_candidates(paths_, contested, endangered);
+  } else if (!contested.empty()) {
+    Segment all;
+    all.links = contested;
+    all.tors = endangered;
+    segments.push_back(std::move(all));
+  }
+  result.segments = segments.size();
+
+  // Disable the safe links before solving segments so their (absent)
+  // contribution to path counts is reflected in feasibility sweeps.
+  for (LinkId link : to_disable) topo_->set_enabled(link, false);
+
+  for (const Segment& segment : segments) {
+    const SegmentSolution solution =
+        solve_segment(segment, corruption, result);
+    result.exact = result.exact && solution.exact;
+    for (std::size_t i = 0; i < segment.links.size(); ++i) {
+      if (solution.selected[i] != 0) {
+        topo_->set_enabled(segment.links[i], false);
+        to_disable.push_back(segment.links[i]);
+      }
+    }
+  }
+
+  result.disabled = std::move(to_disable);
+  for (LinkId link : result.disabled) {
+    result.disabled_penalty += penalty_(corruption.rate(link));
+  }
+  result.remaining_penalty = corruption.total_active_penalty(*topo_, penalty_);
+  return result;
+}
+
+}  // namespace corropt::core

@@ -1,0 +1,108 @@
+// CorrOpt's global optimizer (Section 5.1).
+//
+// When a repaired link is re-enabled, capacity frees up and previously
+// undisableable corrupting links may become disableable. The optimizer
+// solves the underlying NP-complete problem (Theorem 5.1) exactly on
+// practical instances via three reductions:
+//
+//   1. Pruning: treat all active corrupting links as disabled and find
+//      the ToRs V whose constraints would be violated. Every corrupting
+//      link not upstream of V is safe to disable outright (ToRs outside V
+//      tolerate even the full set, and feasibility is monotone in the set
+//      of enabled links).
+//   2. Segmentation (Section 8): the remaining candidates split into
+//      independent segments per the endangered ToRs they share.
+//   3. Exact subset search per segment with a reject cache: subsets are
+//      enumerated in increasing size; any superset of a known-infeasible
+//      subset is skipped without evaluation.
+//
+// The result maximizes the total disabled penalty, i.e. minimizes the
+// residual penalty sum over links of (1 - d_l) * I(f_l), subject to every
+// ToR keeping its required fraction of valley-free paths to the spine.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+#include "corropt/capacity.h"
+#include "corropt/corruption_set.h"
+#include "corropt/path_counter.h"
+#include "corropt/penalty.h"
+#include "corropt/segmentation.h"
+#include "topology/topology.h"
+
+namespace corropt::core {
+
+struct OptimizerConfig {
+  // Segments larger than this fall back to a greedy ordering (disable in
+  // decreasing penalty while feasible); the result is then flagged
+  // non-exact. Real traces never hit this in our experiments.
+  std::size_t max_exact_segment = 22;
+  bool use_reject_cache = true;
+  bool use_pruning = true;
+  bool use_segmentation = true;
+
+  // Ablation switch for benchmarks: when false, singleton-infeasible
+  // candidates are not pre-filtered before enumeration.
+  bool prefilter_singletons = true;
+};
+
+struct OptimizerResult {
+  // Links the optimizer disabled during this run.
+  std::vector<LinkId> disabled;
+  // Penalty of the links disabled by this run.
+  double disabled_penalty = 0.0;
+  // Penalty of corrupting links still enabled after this run.
+  double remaining_penalty = 0.0;
+  // False when any segment used the greedy fallback.
+  bool exact = true;
+  // Diagnostics.
+  std::size_t pruned_safe_disables = 0;
+  std::size_t segments = 0;
+  std::size_t subsets_evaluated = 0;
+  std::size_t cache_skips = 0;
+};
+
+class Optimizer {
+ public:
+  Optimizer(topology::Topology& topo, const CapacityConstraint& constraint,
+            PenaltyFunction penalty, OptimizerConfig config = {});
+
+  // Globally optimizes over the active corrupting links, disabling the
+  // optimal subset. Call whenever a link is (re-)enabled.
+  OptimizerResult run(const CorruptionSet& corruption);
+
+ private:
+  struct SegmentSolution {
+    // selected[i] != 0 -> disable segment.links[i].
+    std::vector<char> selected;
+    double penalty = 0.0;
+    bool exact = true;
+  };
+
+  // Exact (or greedy, over-budget) search within one segment. Updates
+  // result diagnostics.
+  SegmentSolution solve_segment(const Segment& segment,
+                                const CorruptionSet& corruption,
+                                OptimizerResult& result);
+
+  // Feasibility of disabling the selected subset of segment.links for
+  // the segment's ToRs, via a sweep restricted to the ToRs' upstream
+  // closure.
+  struct Region;
+  [[nodiscard]] bool region_feasible(const Region& region,
+                                     const Segment& segment,
+                                     const std::vector<char>& selected);
+
+  topology::Topology* topo_;
+  const CapacityConstraint* constraint_;
+  PenaltyFunction penalty_;
+  OptimizerConfig config_;
+  PathCounter paths_;
+  // Scratch reused across feasibility sweeps.
+  std::vector<std::uint64_t> scratch_paths_;
+  std::vector<char> scratch_off_;
+};
+
+}  // namespace corropt::core

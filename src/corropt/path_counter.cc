@@ -1,0 +1,110 @@
+#include "corropt/path_counter.h"
+
+#include <cassert>
+
+namespace corropt::core {
+
+namespace {
+
+// Shared top-down sweep. `link_active` decides which links conduct.
+template <typename LinkActive>
+std::vector<std::uint64_t> sweep(const topology::Topology& topo,
+                                 LinkActive&& link_active) {
+  std::vector<std::uint64_t> paths(topo.switch_count(), 0);
+  const int top = topo.top_level();
+  if (top < 0) return paths;
+  for (SwitchId spine : topo.switches_at_level(top)) {
+    paths[spine.index()] = 1;
+  }
+  for (int level = top - 1; level >= 0; --level) {
+    for (SwitchId id : topo.switches_at_level(level)) {
+      std::uint64_t total = 0;
+      for (LinkId uplink : topo.switch_at(id).uplinks) {
+        if (!link_active(uplink)) continue;
+        total += paths[topo.link_at(uplink).upper.index()];
+      }
+      paths[id.index()] = total;
+    }
+  }
+  return paths;
+}
+
+}  // namespace
+
+PathCounter::PathCounter(const topology::Topology& topo) : topo_(&topo) {
+  design_paths_ = sweep(topo, [](LinkId) { return true; });
+}
+
+std::vector<std::uint64_t> PathCounter::up_paths(
+    const LinkMask* extra_off) const {
+  if (extra_off == nullptr) {
+    return sweep(*topo_,
+                 [this](LinkId id) { return topo_->is_enabled(id); });
+  }
+  assert(extra_off->size() == topo_->link_count());
+  return sweep(*topo_, [this, extra_off](LinkId id) {
+    return topo_->is_enabled(id) && (*extra_off)[id.index()] == 0;
+  });
+}
+
+std::vector<SwitchId> PathCounter::violated_tors(
+    std::span<const std::uint64_t> up_paths,
+    const CapacityConstraint& constraint) const {
+  std::vector<SwitchId> violated;
+  for (SwitchId tor : topo_->tors()) {
+    const std::uint64_t required =
+        constraint.min_paths(tor, design_paths_[tor.index()]);
+    if (up_paths[tor.index()] < required) violated.push_back(tor);
+  }
+  return violated;
+}
+
+bool PathCounter::feasible(std::span<const std::uint64_t> up_paths,
+                           const CapacityConstraint& constraint) const {
+  for (SwitchId tor : topo_->tors()) {
+    const std::uint64_t required =
+        constraint.min_paths(tor, design_paths_[tor.index()]);
+    if (up_paths[tor.index()] < required) return false;
+  }
+  return true;
+}
+
+LinkMask PathCounter::upstream_links(std::span<const SwitchId> from) const {
+  LinkMask mask(topo_->link_count(), 0);
+  std::vector<char> visited(topo_->switch_count(), 0);
+  // The upstream closure follows *installed* links (enabled or not):
+  // a disabled link upstream of a violated ToR still belongs to the
+  // pruned sub-topology, since re-enabling decisions may involve it.
+  std::vector<SwitchId> frontier(from.begin(), from.end());
+  for (SwitchId id : frontier) visited[id.index()] = 1;
+  while (!frontier.empty()) {
+    const SwitchId current = frontier.back();
+    frontier.pop_back();
+    for (LinkId uplink : topo_->switch_at(current).uplinks) {
+      mask[uplink.index()] = 1;
+      const SwitchId upper = topo_->link_at(uplink).upper;
+      if (!visited[upper.index()]) {
+        visited[upper.index()] = 1;
+        frontier.push_back(upper);
+      }
+    }
+  }
+  return mask;
+}
+
+std::uint64_t count_paths_brute_force(const topology::Topology& topo,
+                                      SwitchId from,
+                                      const LinkMask* extra_off) {
+  const topology::Switch& sw = topo.switch_at(from);
+  if (sw.level == topo.top_level()) return 1;
+  std::uint64_t total = 0;
+  for (LinkId uplink : sw.uplinks) {
+    if (!topo.is_enabled(uplink)) continue;
+    if (extra_off != nullptr && (*extra_off)[uplink.index()] != 0) continue;
+    total += count_paths_brute_force(topo, topo.link_at(uplink).upper,
+                                     extra_off);
+  }
+  return total;
+}
+
+}  // namespace corropt::core

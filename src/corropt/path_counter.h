@@ -1,0 +1,72 @@
+// Valley-free path counting (Section 5.1, "fast checker" machinery).
+//
+// The naive way to evaluate a ToR's available capacity enumerates every
+// ToR-to-spine path, which is infeasible at DCN scale. The paper's O(|E|)
+// dynamic program instead sweeps level by level from the spine downward:
+// a spine switch has one (empty) path to itself; every other switch's
+// path count is the sum of its active uplinks' upper-endpoint counts.
+// This module implements that sweep plus a brute-force DFS enumerator
+// used to verify it in tests.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/ids.h"
+#include "corropt/capacity.h"
+#include "topology/topology.h"
+
+namespace corropt::core {
+
+using common::LinkId;
+using common::SwitchId;
+
+// Per-link mask; masked links are treated as removed in addition to any
+// administratively disabled links. Sized topology.link_count().
+using LinkMask = std::vector<char>;
+
+class PathCounter {
+ public:
+  explicit PathCounter(const topology::Topology& topo);
+
+  // paths[switch.index()] = number of upward paths from the switch to the
+  // top level through links that are enabled and not masked. `extra_off`
+  // may be null (no extra removals).
+  [[nodiscard]] std::vector<std::uint64_t> up_paths(
+      const LinkMask* extra_off = nullptr) const;
+
+  // Path counts through every installed link regardless of enabled state:
+  // the topology's design capacity, the denominator of the constraint.
+  [[nodiscard]] const std::vector<std::uint64_t>& design_paths() const {
+    return design_paths_;
+  }
+
+  // ToRs whose available paths fall below their constraint under the
+  // given counts.
+  [[nodiscard]] std::vector<SwitchId> violated_tors(
+      std::span<const std::uint64_t> up_paths,
+      const CapacityConstraint& constraint) const;
+
+  // True when no ToR violates its constraint under the given counts.
+  [[nodiscard]] bool feasible(std::span<const std::uint64_t> up_paths,
+                              const CapacityConstraint& constraint) const;
+
+  // Links lying on some upward path from any switch in `from`: the
+  // upstream closure used by the optimizer's topology pruning.
+  [[nodiscard]] LinkMask upstream_links(
+      std::span<const SwitchId> from) const;
+
+  [[nodiscard]] const topology::Topology& topo() const { return *topo_; }
+
+ private:
+  const topology::Topology* topo_;
+  std::vector<std::uint64_t> design_paths_;
+};
+
+// Exhaustive DFS path enumeration; exponential, for tests only.
+[[nodiscard]] std::uint64_t count_paths_brute_force(
+    const topology::Topology& topo, SwitchId from,
+    const LinkMask* extra_off = nullptr);
+
+}  // namespace corropt::core

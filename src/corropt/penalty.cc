@@ -1,0 +1,38 @@
+#include "corropt/penalty.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace corropt::core {
+
+PenaltyFunction PenaltyFunction::linear() {
+  return PenaltyFunction(Kind::kLinear, 0.0);
+}
+
+PenaltyFunction PenaltyFunction::step(double threshold) {
+  assert(threshold > 0.0);
+  return PenaltyFunction(Kind::kStep, threshold);
+}
+
+PenaltyFunction PenaltyFunction::tcp_throughput(double half_loss_rate) {
+  assert(half_loss_rate > 0.0);
+  return PenaltyFunction(Kind::kTcp, half_loss_rate);
+}
+
+double PenaltyFunction::operator()(double loss_rate) const {
+  assert(loss_rate >= 0.0);
+  switch (kind_) {
+    case Kind::kLinear:
+      return loss_rate;
+    case Kind::kStep:
+      return loss_rate >= param_ ? 1.0 : 0.0;
+    case Kind::kTcp: {
+      if (loss_rate == 0.0) return 0.0;
+      const double ratio = std::sqrt(loss_rate / param_);
+      return 1.0 - 1.0 / (1.0 + ratio);
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace corropt::core

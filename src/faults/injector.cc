@@ -1,0 +1,110 @@
+#include "faults/injector.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/time.h"
+
+namespace corropt::faults {
+
+FaultInjector::FaultInjector(telemetry::NetworkState& state)
+    : state_(&state) {}
+
+FaultId FaultInjector::inject(Fault fault) {
+  const FaultId id(next_id_++);
+  fault.id = id;
+  for (const DirectionEffect& effect : fault.effects) {
+    by_direction_[effect.direction].push_back(id);
+  }
+  const auto [it, inserted] = active_.emplace(id, std::move(fault));
+  assert(inserted);
+  for (const DirectionEffect& effect : it->second.effects) {
+    rebuild_direction(effect.direction);
+  }
+  return id;
+}
+
+void FaultInjector::clear(FaultId id) {
+  const auto it = active_.find(id);
+  if (it == active_.end()) return;
+  const Fault fault = std::move(it->second);
+  active_.erase(it);
+  for (const DirectionEffect& effect : fault.effects) {
+    auto& ids = by_direction_[effect.direction];
+    ids.erase(std::remove(ids.begin(), ids.end(), id), ids.end());
+    if (ids.empty()) by_direction_.erase(effect.direction);
+    rebuild_direction(effect.direction);
+  }
+}
+
+bool FaultInjector::try_repair(FaultId id, RepairAction action) {
+  const auto it = active_.find(id);
+  if (it == active_.end()) return true;  // Already gone; repair succeeds.
+  if (!it->second.fixed_by(action)) return false;
+  clear(id);
+  return true;
+}
+
+void FaultInjector::advance(common::SimTime now) {
+  assert(now >= now_);
+  now_ = now;
+  for (const auto& [id, fault] : active_) {
+    for (const DirectionEffect& effect : fault.effects) {
+      if (effect.tx_decay_db_per_day != 0.0) {
+        rebuild_direction(effect.direction);
+      }
+    }
+  }
+}
+
+const Fault* FaultInjector::fault(FaultId id) const {
+  const auto it = active_.find(id);
+  return it == active_.end() ? nullptr : &it->second;
+}
+
+std::vector<FaultId> FaultInjector::faults_on_link(LinkId link) const {
+  std::vector<FaultId> out;
+  for (const auto& [id, fault] : active_) {
+    if (std::find(fault.links.begin(), fault.links.end(), link) !=
+        fault.links.end()) {
+      out.push_back(id);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<const Fault*> FaultInjector::active_faults() const {
+  std::vector<const Fault*> out;
+  out.reserve(active_.size());
+  for (const auto& [id, fault] : active_) out.push_back(&fault);
+  return out;
+}
+
+void FaultInjector::rebuild_direction(DirectionId dir) {
+  telemetry::DirectionState& d = state_->direction(dir);
+  d.tx_power_dbm = state_->tech().nominal_tx_dbm;
+  d.extra_attenuation_db = 0.0;
+  double survival = 1.0;  // P(packet survives every active fault).
+
+  const auto it = by_direction_.find(dir);
+  if (it != by_direction_.end()) {
+    for (FaultId id : it->second) {
+      const Fault& fault = active_.at(id);
+      for (const DirectionEffect& effect : fault.effects) {
+        if (effect.direction != dir) continue;
+        d.extra_attenuation_db += effect.extra_attenuation_db;
+        double tx_delta = effect.tx_power_delta_db;
+        if (effect.tx_decay_db_per_day != 0.0) {
+          tx_delta -= effect.tx_decay_db_per_day *
+                      common::to_days(now_ - fault.onset);
+        }
+        d.tx_power_dbm += tx_delta;
+        survival *= 1.0 - effect.corruption_rate;
+      }
+    }
+  }
+  d.corruption_rate = 1.0 - survival;
+}
+
+}  // namespace corropt::faults

@@ -1,0 +1,61 @@
+// Applies faults to the network's physical state and tracks them.
+//
+// The injector is the single writer of fault-induced perturbations in
+// NetworkState: injecting a fault adds its per-direction effects, clearing
+// it (after a successful repair) removes them. Multiple concurrent faults
+// on one direction compose: attenuations and TxPower deltas add, and
+// corruption rates combine as independent drop processes.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/time.h"
+#include "faults/fault.h"
+#include "telemetry/network_state.h"
+
+namespace corropt::faults {
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(telemetry::NetworkState& state);
+
+  // Applies the fault's effects and returns its assigned id.
+  FaultId inject(Fault fault);
+
+  // Removes the fault and its effects. No-op for unknown/cleared ids.
+  void clear(FaultId id);
+
+  // Attempts a repair action against the fault: if the action is in the
+  // fault's fixing set, the fault is cleared and true is returned;
+  // otherwise the fault persists and false is returned.
+  bool try_repair(FaultId id, RepairAction action);
+
+  // Progresses time-dependent effects (decaying transmitters) to `now`.
+  void advance(common::SimTime now);
+
+  [[nodiscard]] const Fault* fault(FaultId id) const;
+  // Ids of active faults affecting `link`, in injection order.
+  [[nodiscard]] std::vector<FaultId> faults_on_link(LinkId link) const;
+  [[nodiscard]] std::size_t active_fault_count() const {
+    return active_.size();
+  }
+  // All active faults, in unspecified order.
+  [[nodiscard]] std::vector<const Fault*> active_faults() const;
+
+ private:
+  // Recomputes the physical state of one direction from scratch by
+  // folding in every active effect that targets it.
+  void rebuild_direction(DirectionId dir);
+
+  telemetry::NetworkState* state_;
+  std::unordered_map<FaultId, Fault> active_;
+  // Direction -> ids of active faults with an effect on it.
+  std::unordered_map<DirectionId, std::vector<FaultId>> by_direction_;
+  common::FaultId::underlying_type next_id_ = 0;
+  common::SimTime now_ = 0;
+};
+
+}  // namespace corropt::faults

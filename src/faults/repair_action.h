@@ -1,0 +1,48 @@
+// Repair actions technicians can take on a corrupting link.
+//
+// These are the outputs of CorrOpt's recommendation engine (Algorithm 1)
+// and the steps of the legacy root-cause-agnostic escalation sequence
+// (Section 5.2). Transceiver actions are expressed relative to the
+// corrupting direction: "local" is the receive side that observes the
+// corruption, "remote" the transmit side feeding it.
+#pragma once
+
+#include <array>
+#include <string_view>
+
+namespace corropt::faults {
+
+enum class RepairAction {
+  kCleanFiber,
+  kReplaceFiber,
+  kReseatTransceiver,
+  kReplaceTransceiver,
+  kReplaceRemoteTransceiver,
+  kReplaceSharedComponent,
+};
+
+inline constexpr std::array<RepairAction, 6> kAllRepairActions = {
+    RepairAction::kCleanFiber,          RepairAction::kReplaceFiber,
+    RepairAction::kReseatTransceiver,   RepairAction::kReplaceTransceiver,
+    RepairAction::kReplaceRemoteTransceiver,
+    RepairAction::kReplaceSharedComponent};
+
+[[nodiscard]] constexpr std::string_view to_string(RepairAction action) {
+  switch (action) {
+    case RepairAction::kCleanFiber:
+      return "clean-fiber";
+    case RepairAction::kReplaceFiber:
+      return "replace-cable/fiber";
+    case RepairAction::kReseatTransceiver:
+      return "reseat-transceiver";
+    case RepairAction::kReplaceTransceiver:
+      return "replace-transceiver";
+    case RepairAction::kReplaceRemoteTransceiver:
+      return "replace-transceiver-on-opposite-side";
+    case RepairAction::kReplaceSharedComponent:
+      return "replace-shared-component";
+  }
+  return "unknown";
+}
+
+}  // namespace corropt::faults

@@ -1,0 +1,44 @@
+// Root causes of packet corruption (Section 4, Table 2).
+#pragma once
+
+#include <array>
+#include <string_view>
+
+namespace corropt::faults {
+
+enum class RootCause {
+  // Dirt/oil/scratches on a connector; lowers RxPower on one direction.
+  kConnectorContamination,
+  // Bent or physically damaged fiber; lowers RxPower on both directions.
+  kDamagedFiber,
+  // Aging laser; TxPower on the send side low or gradually decreasing.
+  kDecayingTransmitter,
+  // Bad or loosely seated transceiver; powers look healthy.
+  kBadOrLooseTransceiver,
+  // Faulty breakout cable or switch backplane; several co-located links
+  // corrupt simultaneously with good power and similar loss rates.
+  kSharedComponent,
+};
+
+inline constexpr std::array<RootCause, 5> kAllRootCauses = {
+    RootCause::kConnectorContamination, RootCause::kDamagedFiber,
+    RootCause::kDecayingTransmitter, RootCause::kBadOrLooseTransceiver,
+    RootCause::kSharedComponent};
+
+[[nodiscard]] constexpr std::string_view to_string(RootCause cause) {
+  switch (cause) {
+    case RootCause::kConnectorContamination:
+      return "connector-contamination";
+    case RootCause::kDamagedFiber:
+      return "damaged-fiber";
+    case RootCause::kDecayingTransmitter:
+      return "decaying-transmitter";
+    case RootCause::kBadOrLooseTransceiver:
+      return "bad-or-loose-transceiver";
+    case RootCause::kSharedComponent:
+      return "shared-component";
+  }
+  return "unknown";
+}
+
+}  // namespace corropt::faults

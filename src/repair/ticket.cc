@@ -1,0 +1,48 @@
+#include "repair/ticket.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace corropt::repair {
+
+TicketQueue::TicketQueue(TicketQueueParams params) : params_(params) {
+  assert(params.technicians >= 0);
+  assert(params.service_time > 0);
+  crew_free_at_.assign(static_cast<std::size_t>(params.technicians), 0);
+}
+
+TicketId TicketQueue::open(LinkId link, SimTime now, int attempt,
+                           std::optional<faults::RepairAction> recommendation,
+                           std::string rationale) {
+  Ticket ticket;
+  ticket.id = TicketId(next_id_++);
+  ticket.link = link;
+  ticket.issued = now;
+  ticket.attempt = attempt;
+  ticket.recommendation = recommendation;
+  ticket.rationale = std::move(rationale);
+
+  if (crew_free_at_.empty()) {
+    ticket.scheduled_completion = now + params_.service_time;
+  } else {
+    // FIFO dispatch to the earliest-free technician.
+    auto it = std::min_element(crew_free_at_.begin(), crew_free_at_.end());
+    const SimTime start = std::max(*it, now);
+    ticket.scheduled_completion = start + params_.service_time;
+    *it = ticket.scheduled_completion;
+  }
+
+  const TicketId id = ticket.id;
+  open_.emplace(id, std::move(ticket));
+  return id;
+}
+
+const Ticket& TicketQueue::ticket(TicketId id) const {
+  const auto it = open_.find(id);
+  assert(it != open_.end());
+  return it->second;
+}
+
+void TicketQueue::close(TicketId id) { open_.erase(id); }
+
+}  // namespace corropt::repair

@@ -1,0 +1,72 @@
+// Maintenance tickets and the FIFO repair queue.
+//
+// Every disabled link gets a ticket; technicians work tickets in FIFO
+// order. The paper's ticket analysis (Section 5.2) found an average of
+// two days per ticket, and its simulations model each repair attempt as
+// a flat two-day stay. The queue supports both that model (unlimited
+// technicians, fixed service time) and a capacity-limited crew, where
+// backlog stretches resolution times.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/time.h"
+#include "faults/repair_action.h"
+
+namespace corropt::repair {
+
+using common::LinkId;
+using common::SimDuration;
+using common::SimTime;
+using common::TicketId;
+
+struct Ticket {
+  TicketId id;
+  LinkId link;
+  SimTime issued = 0;
+  // Which repair attempt on this link this ticket represents (1-based).
+  int attempt = 1;
+  // CorrOpt's recommendation, when the engine produced one. Tickets
+  // without optical data carry no recommendation (Section 7.2).
+  std::optional<faults::RepairAction> recommendation;
+  std::string rationale;
+  // When a technician finishes acting on the ticket.
+  SimTime scheduled_completion = 0;
+};
+
+struct TicketQueueParams {
+  // 0 means an unbounded crew: every ticket completes issue time +
+  // service_time later, the paper's simulation model.
+  int technicians = 0;
+  SimDuration service_time = common::kMeanRepairTime;
+};
+
+class TicketQueue {
+ public:
+  explicit TicketQueue(TicketQueueParams params = {});
+
+  // Opens a ticket at `now`; computes and stores its completion time.
+  TicketId open(LinkId link, SimTime now, int attempt,
+                std::optional<faults::RepairAction> recommendation,
+                std::string rationale = {});
+
+  [[nodiscard]] const Ticket& ticket(TicketId id) const;
+  // Removes a completed ticket from the open set.
+  void close(TicketId id);
+
+  [[nodiscard]] std::size_t open_count() const { return open_.size(); }
+  [[nodiscard]] std::size_t total_issued() const { return next_id_; }
+
+ private:
+  TicketQueueParams params_;
+  std::unordered_map<TicketId, Ticket> open_;
+  // With a bounded crew, the time each technician becomes free.
+  std::vector<SimTime> crew_free_at_;
+  TicketId::underlying_type next_id_ = 0;
+};
+
+}  // namespace corropt::repair

@@ -1,0 +1,38 @@
+// Correlation measures.
+//
+// Figure 3b plots the Pearson correlation between a link's utilization and
+// the logarithm of its loss rate; this module provides that computation.
+#pragma once
+
+#include <span>
+
+namespace corropt::stats {
+
+// Pearson product-moment correlation of two equal-length series.
+// Returns 0 when either series has zero variance or fewer than 2 points,
+// matching the convention used when a link's loss rate never changes.
+[[nodiscard]] double pearson(std::span<const double> x,
+                             std::span<const double> y);
+
+// Pearson correlation of x against log10(max(y, floor)). The floor keeps
+// zero-loss polling intervals finite, mirroring how the paper treats the
+// logarithm of loss rates that include zero samples.
+[[nodiscard]] double pearson_log(std::span<const double> x,
+                                 std::span<const double> y,
+                                 double floor = 1e-10);
+
+// Streaming Pearson accumulator: O(1) memory per link series, used when
+// correlating a week of 15-minute samples across every link of a DCN.
+class PearsonAccumulator {
+ public:
+  void add(double x, double y);
+  [[nodiscard]] std::size_t count() const { return n_; }
+  // 0 when degenerate (fewer than 2 points or zero variance).
+  [[nodiscard]] double correlation() const;
+
+ private:
+  std::size_t n_ = 0;
+  double sx_ = 0.0, sy_ = 0.0, sxx_ = 0.0, syy_ = 0.0, sxy_ = 0.0;
+};
+
+}  // namespace corropt::stats

@@ -1,0 +1,70 @@
+#include "telemetry/detector.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace corropt::telemetry {
+
+CorruptionDetector::CorruptionDetector(const topology::Topology& topo,
+                                       DetectorParams params)
+    : topo_(&topo), params_(params) {
+  assert(params.clear_threshold <= params.lossy_threshold);
+  assert(params.window_polls >= 1);
+  windows_.resize(topo.direction_count());
+  estimates_.assign(topo.direction_count(), 0.0);
+  corrupting_.assign(topo.link_count(), 0);
+}
+
+void CorruptionDetector::reset(common::LinkId link) {
+  for (const topology::LinkDirection dir :
+       {topology::LinkDirection::kUp, topology::LinkDirection::kDown}) {
+    const auto direction = topology::direction_id(link, dir);
+    windows_[direction.index()] = Window{};
+    estimates_[direction.index()] = 0.0;
+  }
+  corrupting_[link.index()] = 0;
+}
+
+std::optional<DetectionEvent> CorruptionDetector::observe(
+    const PollSample& sample) {
+  Window& window = windows_[sample.direction.index()];
+  window.packets += sample.packets;
+  window.drops += sample.corruption_drops;
+  ++window.polls;
+  if (window.polls < params_.window_polls) return std::nullopt;
+
+  // Window complete: update the direction's estimate if it carried
+  // enough traffic for the rate to be meaningful.
+  const bool valid = window.packets >= params_.min_packets;
+  if (valid) {
+    estimates_[sample.direction.index()] =
+        static_cast<double>(window.drops) /
+        static_cast<double>(window.packets);
+  }
+  window = Window{};
+  if (!valid) return std::nullopt;
+
+  const common::LinkId link = topology::link_of(sample.direction);
+  const double up = estimates_[topology::direction_id(
+                                   link, topology::LinkDirection::kUp)
+                                   .index()];
+  const double down = estimates_[topology::direction_id(
+                                     link, topology::LinkDirection::kDown)
+                                     .index()];
+  const double rate = std::max(up, down);
+
+  const bool was_corrupting = corrupting_[link.index()] != 0;
+  if (!was_corrupting && rate >= params_.lossy_threshold) {
+    corrupting_[link.index()] = 1;
+    return DetectionEvent{DetectionEvent::Kind::kCorrupting, link, rate,
+                          sample.time};
+  }
+  if (was_corrupting && rate < params_.clear_threshold) {
+    corrupting_[link.index()] = 0;
+    return DetectionEvent{DetectionEvent::Kind::kCleared, link, rate,
+                          sample.time};
+  }
+  return std::nullopt;
+}
+
+}  // namespace corropt::telemetry

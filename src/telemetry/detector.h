@@ -1,0 +1,89 @@
+// Corruption detection from SNMP counters.
+//
+// The controller does not see fault injections — production switches
+// report packet-error counters every poll (Section 2), and a detection
+// pipeline turns those noisy counters into "link is corrupting at rate f"
+// events. This detector implements the conservative policy the paper
+// describes: a link is deemed lossy when its corruption loss rate over
+// the observation window crosses the IEEE 802.3 threshold of 1e-8, with
+// a minimum packet count so that a single corrupt frame on an idle link
+// does not page anyone, and hysteresis so a link is not flapped in and
+// out of the corrupting set by Poisson noise.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/time.h"
+#include "telemetry/monitor.h"
+#include "topology/topology.h"
+
+namespace corropt::telemetry {
+
+struct DetectorParams {
+  // Loss rate at which a link is declared corrupting (Section 3: the
+  // paper conservatively uses the 802.3 limit).
+  double lossy_threshold = 1e-8;
+  // Rate below which a previously corrupting link is declared clean;
+  // must be <= lossy_threshold (hysteresis band).
+  double clear_threshold = 5e-9;
+  // Minimum packets observed in the window before any verdict: below
+  // this, one corrupt frame would exceed 1e-8 spuriously.
+  std::uint64_t min_packets = 1000000;
+  // Polls aggregated per verdict (a 4-poll window = 1 hour).
+  int window_polls = 4;
+};
+
+// What the detector tells the controller.
+struct DetectionEvent {
+  enum class Kind {
+    // Link crossed the lossy threshold (or its estimate materially
+    // changed while corrupting).
+    kCorrupting,
+    // Previously corrupting link dropped below the clear threshold.
+    kCleared,
+  };
+  Kind kind = Kind::kCorrupting;
+  common::LinkId link;
+  // Estimated link-level corruption loss rate (worse direction).
+  double loss_rate = 0.0;
+  common::SimTime time = 0;
+};
+
+class CorruptionDetector {
+ public:
+  CorruptionDetector(const topology::Topology& topo, DetectorParams params);
+
+  // Feeds one poll sample; returns an event when a window completes for
+  // the sample's link and the verdict changed.
+  std::optional<DetectionEvent> observe(const PollSample& sample);
+
+  // True when the detector currently believes the link corrupts.
+  [[nodiscard]] bool is_corrupting(common::LinkId link) const {
+    return corrupting_[link.index()] != 0;
+  }
+
+  // Resolves the link's alert state (e.g. after a repair ticket closes):
+  // pending windows and estimates are dropped, and fresh polls must
+  // re-establish any verdict.
+  void reset(common::LinkId link);
+  [[nodiscard]] const DetectorParams& params() const { return params_; }
+
+ private:
+  struct Window {
+    std::uint64_t packets = 0;
+    std::uint64_t drops = 0;
+    int polls = 0;
+  };
+
+  const topology::Topology* topo_;
+  DetectorParams params_;
+  // Per-direction accumulation window.
+  std::vector<Window> windows_;
+  // Latest per-direction rate estimate from a completed, valid window.
+  std::vector<double> estimates_;
+  std::vector<char> corrupting_;  // Per link.
+};
+
+}  // namespace corropt::telemetry

@@ -1,0 +1,61 @@
+#include "telemetry/monitor.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "telemetry/optical.h"
+
+namespace corropt::telemetry {
+
+PollingMonitor::PollingMonitor(NetworkState& state, common::Rng& rng,
+                               double packets_per_epoch_at_line_rate)
+    : state_(&state),
+      rng_(&rng),
+      packets_at_line_rate_(packets_per_epoch_at_line_rate) {
+  assert(packets_per_epoch_at_line_rate > 0.0);
+}
+
+PollSample PollingMonitor::poll_direction(DirectionId dir,
+                                          SimTime epoch_start,
+                                          const DirectionLoad& load) {
+  DirectionState& d = state_->direction(dir);
+  const topology::Topology& topo = state_->topo();
+  const bool enabled = topo.is_enabled(topology::link_of(dir));
+
+  PollSample sample;
+  sample.time = epoch_start;
+  sample.direction = dir;
+  sample.tx_power_dbm = d.tx_power_dbm;
+  sample.rx_power_dbm = state_->rx_power_dbm(dir);
+  sample.utilization = enabled ? load.utilization : 0.0;
+
+  if (enabled && load.utilization > 0.0) {
+    const double offered = packets_at_line_rate_ * load.utilization;
+    const auto packets = static_cast<std::uint64_t>(offered);
+    sample.packets = packets;
+    // Expected drops with Poisson dispersion: for the small per-packet
+    // probabilities involved, Binomial(n, p) ~ Poisson(n * p).
+    sample.corruption_drops = rng_->poisson(offered * d.corruption_rate);
+    sample.congestion_drops = rng_->poisson(offered * load.congestion_rate);
+    d.packets += sample.packets;
+    d.corruption_drops += sample.corruption_drops;
+    d.congestion_drops += sample.congestion_drops;
+  }
+  return sample;
+}
+
+std::vector<PollSample> PollingMonitor::poll(SimTime epoch_start,
+                                             SimDuration epoch,
+                                             const LoadProvider& load) {
+  (void)epoch;
+  const topology::Topology& topo = state_->topo();
+  std::vector<PollSample> samples;
+  samples.reserve(topo.direction_count());
+  for (std::size_t i = 0; i < topo.direction_count(); ++i) {
+    const DirectionId dir(static_cast<common::DirectionId::underlying_type>(i));
+    samples.push_back(poll_direction(dir, epoch_start, load(dir, epoch_start)));
+  }
+  return samples;
+}
+
+}  // namespace corropt::telemetry

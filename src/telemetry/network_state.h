@@ -1,0 +1,79 @@
+// Mutable per-direction physical state of the network.
+//
+// Fault models (src/faults) perturb this state; the polling monitor reads
+// it to produce SNMP-like samples; the recommendation engine queries it to
+// classify power symptoms. State is stored per *direction* because both
+// optics and corruption are directional (Section 3: only 8.2% of
+// corrupting links corrupt in both directions).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+#include "telemetry/optical.h"
+#include "topology/topology.h"
+
+namespace corropt::telemetry {
+
+using common::DirectionId;
+using common::LinkId;
+
+struct DirectionState {
+  // Transmitter output power; faults (decaying lasers) lower it.
+  double tx_power_dbm = 0.0;
+  // Fault-induced path loss beyond the healthy budget (contamination,
+  // bends) in dB.
+  double extra_attenuation_db = 0.0;
+  // Probability that a packet on this direction is corrupted and dropped.
+  double corruption_rate = 0.0;
+  // Cumulative counters, as a switch would expose over SNMP.
+  std::uint64_t packets = 0;
+  std::uint64_t corruption_drops = 0;
+  std::uint64_t congestion_drops = 0;
+};
+
+class NetworkState {
+ public:
+  NetworkState(const topology::Topology& topo, OpticalTech tech);
+
+  [[nodiscard]] const topology::Topology& topo() const { return *topo_; }
+  [[nodiscard]] const OpticalTech& tech() const { return tech_; }
+
+  [[nodiscard]] DirectionState& direction(DirectionId id) {
+    return directions_[id.index()];
+  }
+  [[nodiscard]] const DirectionState& direction(DirectionId id) const {
+    return directions_[id.index()];
+  }
+
+  [[nodiscard]] double tx_power_dbm(DirectionId id) const {
+    return directions_[id.index()].tx_power_dbm;
+  }
+  [[nodiscard]] double rx_power_dbm(DirectionId id) const {
+    const DirectionState& d = directions_[id.index()];
+    return tech_.rx_power_dbm(d.tx_power_dbm, d.extra_attenuation_db);
+  }
+  [[nodiscard]] bool rx_is_low(DirectionId id) const {
+    return tech_.rx_is_low(rx_power_dbm(id));
+  }
+  [[nodiscard]] bool tx_is_low(DirectionId id) const {
+    return tech_.tx_is_low(tx_power_dbm(id));
+  }
+
+  [[nodiscard]] double corruption_rate(DirectionId id) const {
+    return directions_[id.index()].corruption_rate;
+  }
+  // The link-level corruption rate: the worse of the two directions,
+  // which is what drives the decision to disable the whole link.
+  [[nodiscard]] double link_corruption_rate(LinkId id) const;
+  [[nodiscard]] bool link_is_corrupting(LinkId id,
+                                        double threshold = 1e-8) const;
+
+ private:
+  const topology::Topology* topo_;
+  OpticalTech tech_;
+  std::vector<DirectionState> directions_;
+};
+
+}  // namespace corropt::telemetry

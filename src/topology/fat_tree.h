@@ -1,0 +1,41 @@
+// k-ary fat-tree and parameterized three-stage Clos builders.
+//
+// These are the concrete topologies the paper's evaluation runs on: a
+// "large" DCN with O(35K) switch-to-switch links and a "medium" one with
+// O(15K) links (Section 7.1). A k-ary fat-tree has k pods, k/2 ToRs and
+// k/2 aggregation switches per pod, and (k/2)^2 spines; k = 40 yields
+// 32,000 links (large) and k = 32 yields 16,384 (medium).
+#pragma once
+
+#include "topology/topology.h"
+#include "topology/xgft.h"
+
+namespace corropt::topology {
+
+// Standard k-ary fat-tree restricted to switch-to-switch links (servers
+// are not modeled; corruption mitigation only applies to inter-switch
+// optical links, Section 2). Requires even k >= 2.
+[[nodiscard]] Topology build_fat_tree(int k);
+
+// The XGFT spec equivalent of build_fat_tree, for callers that want to
+// inspect expected sizes before building.
+[[nodiscard]] XgftSpec fat_tree_spec(int k);
+
+struct ClosSpec {
+  int pods = 4;
+  int tors_per_pod = 2;
+  int aggs_per_pod = 2;
+  // Each aggregation switch connects to this many spines; aggregation
+  // switches with the same index across pods share a spine group, so the
+  // spine count is aggs_per_pod * spine_group_size.
+  int spine_group_size = 2;
+};
+
+// Three-stage folded Clos with independent pod width and spine fan-out.
+[[nodiscard]] Topology build_clos(const ClosSpec& spec);
+
+// The paper's evaluation topologies (Section 7.1).
+[[nodiscard]] Topology build_large_dcn();   // ~32K links (k = 40)
+[[nodiscard]] Topology build_medium_dcn();  // ~16K links (k = 32)
+
+}  // namespace corropt::topology

@@ -1,0 +1,36 @@
+// Extended Generalized Fat Tree (XGFT) builder.
+//
+// XGFT(h; m_1..m_h; w_1..w_h) is the standard parameterized family of
+// multi-stage, folded-Clos networks (Öhring et al.). Level 0 holds the
+// leaves (ToRs here); each level-i node has m_i children at level i-1 and
+// each level-(i-1) node has w_i parents at level i. The k-ary fat-tree and
+// the paper's ToR-Agg-Spine Clos designs are instances, and XGFT gives us
+// deeper trees (r tiers above the ToR) for exercising the generalization
+// of the switch-local threshold sc = c^(1/r) discussed in Section 5.1.
+#pragma once
+
+#include <vector>
+
+#include "topology/topology.h"
+
+namespace corropt::topology {
+
+struct XgftSpec {
+  // children_per_node[i] is m_{i+1}: children each level-(i+1) node has.
+  std::vector<int> children_per_node;
+  // parents_per_node[i] is w_{i+1}: parents each level-i node has.
+  std::vector<int> parents_per_node;
+
+  [[nodiscard]] int height() const {
+    return static_cast<int>(children_per_node.size());
+  }
+  // Node count at `level` in [0, height()].
+  [[nodiscard]] std::size_t nodes_at_level(int level) const;
+  [[nodiscard]] std::size_t total_links() const;
+};
+
+// Builds the XGFT; aborts if the spec is malformed (empty or non-positive
+// arities, mismatched vector lengths).
+[[nodiscard]] Topology build_xgft(const XgftSpec& spec);
+
+}  // namespace corropt::topology

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "corropt/controller.h"
+#include "topology/fat_tree.h"
+
+namespace corropt::core {
+namespace {
+
+using Kind = Controller::ActionRecord::Kind;
+
+TEST(AuditLog, OffByDefault) {
+  auto topo = topology::build_fat_tree(4);
+  Controller controller(topo, {});
+  controller.on_corruption_detected(common::LinkId(0), 1e-4);
+  EXPECT_TRUE(controller.audit_log().empty());
+}
+
+TEST(AuditLog, RecordsTheDecisionFlow) {
+  auto topo = topology::build_fat_tree(4);
+  ControllerConfig config;
+  config.capacity_fraction = 0.5;
+  Controller controller(topo, config);
+  controller.enable_audit_log();
+
+  const auto tor = topo.tors().front();
+  const auto a = topo.switch_at(tor).uplinks[0];
+  const auto b = topo.switch_at(tor).uplinks[1];
+  controller.on_corruption_detected(a, 1e-4);  // Disabled + ticket.
+  controller.on_corruption_detected(b, 1e-3);  // Refused.
+  controller.on_link_repaired(a);  // Enabled + optimizer grabs b.
+
+  const auto& log = controller.audit_log();
+  ASSERT_EQ(log.size(), 7u);
+  EXPECT_EQ(log[0].kind, Kind::kDisabled);
+  EXPECT_EQ(log[0].link, a);
+  EXPECT_DOUBLE_EQ(log[0].loss_rate, 1e-4);
+  EXPECT_EQ(log[1].kind, Kind::kTicketIssued);
+  EXPECT_EQ(log[2].kind, Kind::kRefusedCapacity);
+  EXPECT_EQ(log[2].link, b);
+  EXPECT_EQ(log[3].kind, Kind::kEnabled);
+  EXPECT_EQ(log[3].link, a);
+  EXPECT_EQ(log[4].kind, Kind::kOptimizerRun);
+  EXPECT_EQ(log[4].detail, 1u);
+  EXPECT_EQ(log[5].kind, Kind::kDisabled);
+  EXPECT_EQ(log[5].link, b);
+  EXPECT_EQ(log[6].kind, Kind::kTicketIssued);
+}
+
+TEST(AuditLog, BoundedToCapacity) {
+  auto topo = topology::build_fat_tree(4);
+  ControllerConfig config;
+  config.capacity_fraction = 1.0;  // Every report refused: 1 record each.
+  Controller controller(topo, config);
+  controller.enable_audit_log(/*capacity=*/5);
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    controller.on_corruption_detected(common::LinkId(i), 1e-5);
+  }
+  const auto& log = controller.audit_log();
+  ASSERT_EQ(log.size(), 5u);
+  // The newest records survive.
+  EXPECT_EQ(log.back().link, common::LinkId(19));
+  EXPECT_EQ(log.front().link, common::LinkId(15));
+  for (const auto& record : log) {
+    EXPECT_EQ(record.kind, Kind::kRefusedCapacity);
+  }
+}
+
+TEST(AuditLog, ClearedEventsRecorded) {
+  auto topo = topology::build_fat_tree(4);
+  ControllerConfig config;
+  config.capacity_fraction = 1.0;
+  Controller controller(topo, config);
+  controller.enable_audit_log();
+  controller.on_corruption_detected(common::LinkId(3), 2e-5);
+  controller.on_corruption_cleared(common::LinkId(3));
+  const auto& log = controller.audit_log();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[1].kind, Kind::kCorruptionCleared);
+  EXPECT_DOUBLE_EQ(log[1].loss_rate, 2e-5)
+      << "the cleared record carries the last known rate";
+}
+
+}  // namespace
+}  // namespace corropt::core

@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "common/csv.h"
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/time.h"
+
+namespace corropt::common {
+namespace {
+
+TEST(Ids, DefaultIsInvalid) {
+  LinkId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_TRUE(LinkId(0).valid());
+  EXPECT_EQ(LinkId::invalid(), LinkId{});
+}
+
+TEST(Ids, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<LinkId, SwitchId>);
+  static_assert(!std::is_same_v<LinkId, DirectionId>);
+}
+
+TEST(Ids, OrderingAndHash) {
+  EXPECT_LT(LinkId(1), LinkId(2));
+  EXPECT_EQ(std::hash<LinkId>{}(LinkId(7)), std::hash<LinkId>{}(LinkId(7)));
+}
+
+TEST(Time, Conversions) {
+  EXPECT_EQ(kDay, 86400);
+  EXPECT_EQ(kPollInterval, 900);
+  EXPECT_DOUBLE_EQ(to_days(3 * kDay), 3.0);
+  EXPECT_DOUBLE_EQ(to_hours(kDay), 24.0);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a() == b();
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIndexCoversRangeUniformly) {
+  Rng rng(9);
+  std::array<int, 5> counts{};
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) counts[rng.uniform_index(5)]++;
+  for (int count : counts) {
+    EXPECT_NEAR(count, kDraws / 5, kDraws / 50);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(13);
+  int hits = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.01);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(17);
+  double sum = 0.0, sq = 0.0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.0, 0.02);
+  EXPECT_NEAR(sq / kDraws, 1.0, 0.03);
+}
+
+TEST(Rng, LogUniformStaysInRangeAndFillsDecades) {
+  Rng rng(19);
+  int low_decade = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.log_uniform(1e-8, 1e-4);
+    ASSERT_GE(v, 1e-8);
+    ASSERT_LT(v, 1e-4);
+    if (v < 1e-6) ++low_decade;
+  }
+  // Log-uniform: half the mass below the geometric midpoint 1e-6.
+  EXPECT_NEAR(low_decade, 5000, 300);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(23);
+  double sum = 0.0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / kDraws, 4.0, 0.1);
+}
+
+TEST(Rng, PoissonMeanSmallAndLarge) {
+  Rng rng(29);
+  for (double mean : {0.5, 8.0, 200.0}) {
+    double sum = 0.0;
+    constexpr int kDraws = 20000;
+    for (int i = 0; i < kDraws; ++i) {
+      sum += static_cast<double>(rng.poisson(mean));
+    }
+    EXPECT_NEAR(sum / kDraws, mean, mean * 0.05 + 0.05);
+  }
+}
+
+TEST(Rng, PoissonZeroMean) {
+  Rng rng(31);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng rng(37);
+  const std::array<double, 3> weights = {1.0, 0.0, 3.0};
+  std::array<int, 3> counts{};
+  constexpr int kDraws = 40000;
+  for (int i = 0; i < kDraws; ++i) counts[rng.weighted_index(weights)]++;
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(counts[0], kDraws / 4, kDraws / 40);
+  EXPECT_NEAR(counts[2], 3 * kDraws / 4, kDraws / 40);
+}
+
+TEST(Rng, SampleWithoutReplacementIsDistinct) {
+  Rng rng(41);
+  const auto sample = rng.sample_without_replacement(100, 30);
+  EXPECT_EQ(sample.size(), 30u);
+  const std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (std::size_t v : unique) EXPECT_LT(v, 100u);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(55);
+  Rng child = a.fork();
+  // The child stream should not replicate the parent's next outputs.
+  int same = 0;
+  for (int i = 0; i < 50; ++i) same += a() == child();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Csv, WritesSimpleRow) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.row("a", 1, 2.5);
+  EXPECT_EQ(out.str(), "a,1,2.5\n");
+}
+
+TEST(Csv, QuotesSpecialCharacters) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.write_row({"x,y", "he said \"hi\"", "line\nbreak"});
+  EXPECT_EQ(out.str(), "\"x,y\",\"he said \"\"hi\"\"\",\"line\nbreak\"\n");
+}
+
+TEST(Csv, RoundTripParse) {
+  const std::vector<std::string> fields = {"plain", "with,comma",
+                                           "with \"quote\""};
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.write_row(fields);
+  std::string line = out.str();
+  line.pop_back();  // trailing newline
+  EXPECT_EQ(parse_csv_row(line), fields);
+}
+
+TEST(Csv, ParseEmptyFields) {
+  const auto fields = parse_csv_row("a,,b");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[1], "");
+}
+
+}  // namespace
+}  // namespace corropt::common

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "congestion/congestion_model.h"
+#include "stats/correlation.h"
+#include "stats/descriptive.h"
+#include "topology/fat_tree.h"
+
+namespace corropt::congestion {
+namespace {
+
+TEST(Congestion, UtilizationBoundedAndDeterministic) {
+  const auto topo = topology::build_fat_tree(4);
+  common::Rng rng(1);
+  CongestionModel model(topo, {}, rng);
+  const DirectionId dir(0);
+  for (common::SimTime t = 0; t < common::kDay; t += common::kPollInterval) {
+    const double u = model.utilization(dir, t);
+    EXPECT_GE(u, 0.02);
+    EXPECT_LE(u, 0.98);
+    EXPECT_DOUBLE_EQ(u, model.utilization(dir, t)) << "same (dir, t) input";
+  }
+}
+
+TEST(Congestion, LossZeroBelowKnee) {
+  const auto topo = topology::build_fat_tree(4);
+  common::Rng rng(2);
+  CongestionParams params;
+  CongestionModel model(topo, params, rng);
+  EXPECT_DOUBLE_EQ(model.loss_rate(DirectionId(0), params.knee_utilization,
+                                   0),
+                   0.0);
+  EXPECT_DOUBLE_EQ(model.loss_rate(DirectionId(0), 0.1, 0), 0.0);
+  EXPECT_GT(model.loss_rate(DirectionId(0), 0.95, 0), 0.0);
+}
+
+TEST(Congestion, LossGrowsWithUtilizationOnAverage) {
+  const auto topo = topology::build_fat_tree(4);
+  common::Rng rng(3);
+  CongestionModel model(topo, {}, rng);
+  double lo = 0.0, hi = 0.0;
+  int samples = 0;
+  for (common::SimTime t = 0; t < common::kWeek;
+       t += common::kPollInterval) {
+    lo += model.loss_rate(DirectionId(0), 0.7, t);
+    hi += model.loss_rate(DirectionId(0), 0.95, t);
+    ++samples;
+  }
+  EXPECT_GT(hi / samples, lo / samples * 3.0);
+}
+
+TEST(Congestion, HotspotLinksRunHotter) {
+  const auto topo = topology::build_fat_tree(8);
+  common::Rng rng(4);
+  CongestionParams params;
+  params.hotspot_switch_fraction = 0.2;
+  CongestionModel model(topo, params, rng);
+  stats::RunningStats hot, cold;
+  for (std::size_t i = 0; i < topo.direction_count(); ++i) {
+    const DirectionId dir(static_cast<common::DirectionId::underlying_type>(i));
+    auto& bucket = model.is_hot(dir) ? hot : cold;
+    for (common::SimTime t = 0; t < common::kDay; t += 6 * common::kHour) {
+      bucket.add(model.utilization(dir, t));
+    }
+  }
+  ASSERT_GT(hot.count(), 0u);
+  ASSERT_GT(cold.count(), 0u);
+  EXPECT_GT(hot.mean(), cold.mean() + 0.2);
+}
+
+TEST(Congestion, UtilizationLossCorrelationIsPositive) {
+  // The defining congestion property from Figure 3: loss correlates with
+  // utilization on congested links.
+  const auto topo = topology::build_fat_tree(8);
+  common::Rng rng(5);
+  CongestionParams params;
+  params.hotspot_switch_fraction = 0.3;
+  CongestionModel model(topo, params, rng);
+  stats::PearsonAccumulator acc;
+  for (std::size_t i = 0; i < topo.direction_count(); ++i) {
+    const DirectionId dir(static_cast<common::DirectionId::underlying_type>(i));
+    if (!model.is_hot(dir)) continue;
+    for (common::SimTime t = 0; t < common::kWeek;
+         t += common::kPollInterval) {
+      const double u = model.utilization(dir, t);
+      const double loss = model.loss_rate(dir, u, t);
+      acc.add(u, std::log10(std::max(loss, 1e-10)));
+    }
+  }
+  EXPECT_GT(acc.correlation(), 0.4);
+}
+
+TEST(Congestion, HotspotsClusterOnSwitches) {
+  const auto topo = topology::build_fat_tree(8);
+  common::Rng rng(6);
+  CongestionParams params;
+  params.hotspot_switch_fraction = 0.05;
+  CongestionModel model(topo, params, rng);
+  // Every link incident to a hotspot switch is hot: congestion has
+  // strong spatial locality by construction.
+  std::size_t hot_links = 0, hot_switches = 0;
+  for (const auto& sw : topo.switches()) {
+    if (model.is_hotspot_switch(sw.id)) ++hot_switches;
+  }
+  for (const auto& link : topo.links()) {
+    const auto up = topology::direction_id(link.id,
+                                           topology::LinkDirection::kUp);
+    if (model.is_hot(up)) ++hot_links;
+  }
+  ASSERT_GT(hot_switches, 0u);
+  // Hot links outnumber hot switches by roughly the switch radix.
+  EXPECT_GT(hot_links, hot_switches * 3);
+}
+
+}  // namespace
+}  // namespace corropt::congestion

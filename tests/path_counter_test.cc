@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "corropt/capacity.h"
+#include "corropt/path_counter.h"
+#include "topology/fat_tree.h"
+#include "topology/xgft.h"
+
+namespace corropt::core {
+namespace {
+
+using topology::Topology;
+using topology::XgftSpec;
+
+TEST(PathCounter, FatTreeDesignPaths) {
+  // k=4 fat-tree: each ToR reaches the spine via 2 aggs x 2 spines.
+  const Topology topo = topology::build_fat_tree(4);
+  PathCounter counter(topo);
+  for (common::SwitchId tor : topo.tors()) {
+    EXPECT_EQ(counter.design_paths()[tor.index()], 4u);
+  }
+  for (common::SwitchId agg : topo.switches_at_level(1)) {
+    EXPECT_EQ(counter.design_paths()[agg.index()], 2u);
+  }
+}
+
+TEST(PathCounter, DisabledLinksReduceCounts) {
+  Topology topo = topology::build_fat_tree(4);
+  PathCounter counter(topo);
+  const common::SwitchId tor = topo.tors().front();
+  const common::LinkId uplink = topo.switch_at(tor).uplinks.front();
+  topo.set_enabled(uplink, false);
+  const auto counts = counter.up_paths();
+  EXPECT_EQ(counts[tor.index()], 2u);
+  // Design counts are unaffected by administrative state.
+  EXPECT_EQ(counter.design_paths()[tor.index()], 4u);
+}
+
+TEST(PathCounter, MaskActsLikeRemoval) {
+  Topology topo = topology::build_fat_tree(4);
+  PathCounter counter(topo);
+  const common::SwitchId tor = topo.tors().front();
+  LinkMask mask(topo.link_count(), 0);
+  mask[topo.switch_at(tor).uplinks.front().index()] = 1;
+  const auto masked = counter.up_paths(&mask);
+  EXPECT_EQ(masked[tor.index()], 2u);
+  // The mask must not mutate the topology.
+  EXPECT_EQ(topo.enabled_link_count(), topo.link_count());
+}
+
+class PathCounterRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PathCounterRandomTest, SweepMatchesBruteForce) {
+  common::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  // Random small XGFT with random disabled links and a random mask.
+  XgftSpec spec;
+  const int height = 2 + static_cast<int>(rng.uniform_index(2));
+  for (int i = 0; i < height; ++i) {
+    spec.children_per_node.push_back(
+        1 + static_cast<int>(rng.uniform_index(3)));
+    spec.parents_per_node.push_back(
+        1 + static_cast<int>(rng.uniform_index(3)));
+  }
+  Topology topo = topology::build_xgft(spec);
+  for (std::size_t i = 0; i < topo.link_count(); ++i) {
+    if (rng.bernoulli(0.2)) {
+      topo.set_enabled(common::LinkId(
+                           static_cast<common::LinkId::underlying_type>(i)),
+                       false);
+    }
+  }
+  LinkMask mask(topo.link_count(), 0);
+  for (std::size_t i = 0; i < topo.link_count(); ++i) {
+    mask[i] = rng.bernoulli(0.1) ? 1 : 0;
+  }
+
+  PathCounter counter(topo);
+  const auto swept = counter.up_paths(&mask);
+  for (common::SwitchId tor : topo.tors()) {
+    EXPECT_EQ(swept[tor.index()],
+              count_paths_brute_force(topo, tor, &mask))
+        << "seed " << GetParam() << " tor " << tor.value();
+  }
+  // Design paths: brute force with everything enabled.
+  Topology pristine = topology::build_xgft(spec);
+  for (common::SwitchId tor : pristine.tors()) {
+    EXPECT_EQ(counter.design_paths()[tor.index()],
+              count_paths_brute_force(pristine, tor));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomTopologies, PathCounterRandomTest,
+                         ::testing::Range(0, 25));
+
+TEST(PathCounter, ViolatedTorsRespectConstraint) {
+  Topology topo = topology::build_fat_tree(4);
+  PathCounter counter(topo);
+  CapacityConstraint constraint(0.75);  // 3 of 4 paths required.
+  EXPECT_TRUE(counter.feasible(counter.up_paths(), constraint));
+
+  const common::SwitchId tor = topo.tors().front();
+  topo.set_enabled(topo.switch_at(tor).uplinks.front(), false);
+  const auto counts = counter.up_paths();
+  const auto violated = counter.violated_tors(counts, constraint);
+  ASSERT_EQ(violated.size(), 1u);  // 2/4 < 0.75 for this ToR only.
+  EXPECT_EQ(violated.front(), tor);
+  EXPECT_FALSE(counter.feasible(counts, constraint));
+}
+
+TEST(PathCounter, PerTorOverridesApply) {
+  Topology topo = topology::build_fat_tree(4);
+  PathCounter counter(topo);
+  CapacityConstraint constraint(0.25);
+  const common::SwitchId strict_tor = topo.tors().back();
+  constraint.set_tor_fraction(strict_tor, 1.0);
+  topo.set_enabled(topo.switch_at(strict_tor).uplinks.front(), false);
+  const auto violated = counter.violated_tors(counter.up_paths(), constraint);
+  ASSERT_EQ(violated.size(), 1u);
+  EXPECT_EQ(violated.front(), strict_tor);
+}
+
+TEST(CapacityConstraint, MinPathsRoundsCorrectly) {
+  CapacityConstraint c(0.6);
+  // 0.6 * 25 = 15 exactly: must not round to 16.
+  EXPECT_EQ(c.min_paths(common::SwitchId(0), 25), 15u);
+  // 0.6 * 26 = 15.6: rounds up.
+  EXPECT_EQ(c.min_paths(common::SwitchId(0), 26), 16u);
+  CapacityConstraint half(0.5);
+  EXPECT_EQ(half.min_paths(common::SwitchId(0), 4), 2u);
+  CapacityConstraint full(1.0);
+  EXPECT_EQ(full.min_paths(common::SwitchId(0), 7), 7u);
+  CapacityConstraint none(0.0);
+  EXPECT_EQ(none.min_paths(common::SwitchId(0), 7), 0u);
+}
+
+TEST(PathCounter, UpstreamLinksClosure) {
+  const Topology topo = topology::build_fat_tree(4);
+  PathCounter counter(topo);
+  const common::SwitchId tor = topo.tors().front();
+  const LinkMask mask = counter.upstream_links({&tor, 1});
+  // Closure: the ToR's 2 uplinks + its 2 aggs' 2 uplinks each = 6 links.
+  std::size_t count = 0;
+  for (char bit : mask) count += bit != 0;
+  EXPECT_EQ(count, 6u);
+  // Every uplink of the ToR is included.
+  for (common::LinkId id : topo.switch_at(tor).uplinks) {
+    EXPECT_TRUE(mask[id.index()]);
+  }
+  // No downlink of another pod's ToR is included.
+  const common::SwitchId other = topo.tors().back();
+  for (common::LinkId id : topo.switch_at(other).uplinks) {
+    EXPECT_FALSE(mask[id.index()]);
+  }
+}
+
+TEST(PathCounter, UpstreamIncludesDisabledLinks) {
+  Topology topo = topology::build_fat_tree(4);
+  const common::SwitchId tor = topo.tors().front();
+  const common::LinkId uplink = topo.switch_at(tor).uplinks.front();
+  topo.set_enabled(uplink, false);
+  PathCounter counter(topo);
+  const LinkMask mask = counter.upstream_links({&tor, 1});
+  EXPECT_TRUE(mask[uplink.index()])
+      << "disabled links still belong to the pruned sub-topology";
+}
+
+}  // namespace
+}  // namespace corropt::core

@@ -1,0 +1,138 @@
+// Configuration-matrix invariants: sweep checker mode x repair
+// verification x detection mode x collateral modeling on a pod-scale
+// topology and assert the invariants that must hold in EVERY
+// configuration — feasibility under CorrOpt, conservation of tickets and
+// repairs, eventual drain, and accounting consistency.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/rng.h"
+#include "corropt/path_counter.h"
+#include "sim/mitigation_sim.h"
+#include "topology/fat_tree.h"
+#include "trace/trace.h"
+
+namespace corropt::sim {
+namespace {
+
+using Params =
+    std::tuple<core::CheckerMode, RepairVerification, DetectionMode, bool>;
+
+class SimMatrixTest : public ::testing::TestWithParam<Params> {};
+
+TEST_P(SimMatrixTest, InvariantsHoldInEveryConfiguration) {
+  const auto [mode, verification, detection, collateral] = GetParam();
+
+  auto topo = topology::build_fat_tree(8);
+  topo.assign_breakout_groups(2, 0);
+  topo.assign_breakout_groups(2, 1);
+
+  common::Rng rng(77);
+  trace::TraceParams trace_params;
+  trace_params.faults_per_link_per_day = 0.01;
+  // Front-load the faults, then leave a long drain period.
+  trace_params.duration = 25 * common::kDay;
+  const auto events =
+      trace::CorruptionTraceGenerator(topo, trace_params, rng).generate();
+  ASSERT_GT(events.size(), 20u);
+
+  ScenarioConfig config;
+  config.mode = mode;
+  config.capacity_fraction = 0.5;
+  config.duration = 90 * common::kDay;
+  config.seed = 78;
+  config.verification = verification;
+  config.detection = detection;
+  config.model_collateral_maintenance = collateral;
+  config.account_collateral_repair = collateral;
+  config.outcome.first_attempt_success = 0.7;
+
+  MitigationSimulation sim(topo, config);
+  const SimulationMetrics metrics = sim.run(events);
+
+  // Accounting consistency.
+  EXPECT_EQ(metrics.faults_injected, events.size());
+  EXPECT_GE(metrics.repair_attempts, metrics.first_attempts);
+  EXPECT_GE(metrics.first_attempts, metrics.first_attempt_successes);
+  EXPECT_GE(metrics.tickets_opened, metrics.first_attempts);
+  double binned = 0.0;
+  for (double h : metrics.hourly_penalty) binned += h;
+  EXPECT_NEAR(binned, metrics.integrated_penalty,
+              1e-9 + metrics.integrated_penalty * 1e-9);
+
+  // Capacity invariant: outside collateral maintenance windows (whose
+  // violations are tracked separately), CorrOpt modes never breach the
+  // constraint; with collateral accounting on, windows are safe too for
+  // fast-checker-initiated disables.
+  if (mode != core::CheckerMode::kSwitchLocal && !collateral) {
+    double worst = 1.0;
+    for (const TimePoint& p : metrics.worst_tor_fraction) {
+      worst = std::min(worst, p.value);
+    }
+    EXPECT_GE(worst, 0.5 - 1e-9);
+  }
+
+  // Drain invariant: with 65 quiet days after the last fault and
+  // second attempts always succeeding, every fault is eventually fixed
+  // and every link re-enabled — except corrupting links the checker
+  // could never disable (which persist by design) and, in polled mode,
+  // faults too weak for the detector. Those must still be enabled.
+  EXPECT_EQ(topo.enabled_link_count() +
+                /* disabled links await nothing */ 0u,
+            topo.link_count())
+      << "links left disabled after the drain period";
+
+  // Redetections only occur in enable-and-observe + oracle mode.
+  if (verification == RepairVerification::kTestTraffic ||
+      detection == DetectionMode::kPolled) {
+    EXPECT_EQ(metrics.redetections, 0u);
+  }
+  // Maintenance accounting only when modeled.
+  if (!collateral) {
+    EXPECT_EQ(metrics.maintenance_windows, 0u);
+    EXPECT_DOUBLE_EQ(metrics.collateral_link_seconds, 0.0);
+  } else if (metrics.tickets_opened > 0) {
+    EXPECT_GT(metrics.maintenance_windows, 0u);
+  }
+  // Polled-mode detections carry latency; oracle has none.
+  if (detection == DetectionMode::kPolled) {
+    if (metrics.polled_detections > 0) {
+      EXPECT_GT(metrics.mean_detection_latency_s, 0.0);
+    }
+  } else {
+    EXPECT_EQ(metrics.polled_detections, 0u);
+  }
+}
+
+std::string matrix_name(const ::testing::TestParamInfo<Params>& info) {
+  const core::CheckerMode mode = std::get<0>(info.param);
+  const RepairVerification verification = std::get<1>(info.param);
+  const DetectionMode detection = std::get<2>(info.param);
+  const bool collateral = std::get<3>(info.param);
+  std::string name;
+  name += mode == core::CheckerMode::kSwitchLocal       ? "SwitchLocal"
+          : mode == core::CheckerMode::kFastCheckerOnly ? "FastChecker"
+                                                        : "CorrOpt";
+  name += verification == RepairVerification::kTestTraffic
+              ? "TestTraffic"
+              : "EnableObserve";
+  name += detection == DetectionMode::kPolled ? "Polled" : "Oracle";
+  name += collateral ? "Collateral" : "Plain";
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, SimMatrixTest,
+    ::testing::Combine(
+        ::testing::Values(core::CheckerMode::kSwitchLocal,
+                          core::CheckerMode::kFastCheckerOnly,
+                          core::CheckerMode::kCorrOpt),
+        ::testing::Values(RepairVerification::kEnableAndObserve,
+                          RepairVerification::kTestTraffic),
+        ::testing::Values(DetectionMode::kOracle, DetectionMode::kPolled),
+        ::testing::Bool()),
+    matrix_name);
+
+}  // namespace
+}  // namespace corropt::sim

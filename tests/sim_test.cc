@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "corropt/path_counter.h"
+#include "sim/mitigation_sim.h"
+#include "topology/fat_tree.h"
+#include "trace/trace.h"
+
+namespace corropt::sim {
+namespace {
+
+std::vector<trace::TraceEvent> make_trace(const topology::Topology& topo,
+                                          double per_link_per_day,
+                                          common::SimDuration duration,
+                                          std::uint64_t seed) {
+  common::Rng rng(seed);
+  trace::TraceParams params;
+  params.faults_per_link_per_day = per_link_per_day;
+  params.duration = duration;
+  return trace::CorruptionTraceGenerator(topo, params, rng).generate();
+}
+
+TEST(MitigationSim, EmptyTraceIsQuiet) {
+  auto topo = topology::build_fat_tree(4);
+  ScenarioConfig config;
+  config.duration = 10 * common::kDay;
+  MitigationSimulation sim(topo, config);
+  const SimulationMetrics metrics = sim.run({});
+  EXPECT_DOUBLE_EQ(metrics.integrated_penalty, 0.0);
+  EXPECT_EQ(metrics.faults_injected, 0u);
+  EXPECT_EQ(metrics.tickets_opened, 0u);
+  EXPECT_DOUBLE_EQ(metrics.mean_tor_fraction, 1.0);
+  for (const TimePoint& p : metrics.worst_tor_fraction) {
+    EXPECT_DOUBLE_EQ(p.value, 1.0);
+  }
+}
+
+TEST(MitigationSim, SingleFaultLifecycle) {
+  auto topo = topology::build_fat_tree(8);
+  ScenarioConfig config;
+  config.duration = 10 * common::kDay;
+  config.capacity_fraction = 0.5;
+  config.outcome.first_attempt_success = 1.0;
+  config.seed = 3;
+
+  // One handmade fault at day 1 on a ToR uplink.
+  common::Rng rng(9);
+  faults::FaultMixParams mix;
+  faults::FaultFactory factory(topo, mix, rng);
+  trace::TraceEvent event;
+  event.time = common::kDay;
+  event.fault = factory.make_fault(
+      topo.switch_at(topo.tors().front()).uplinks[0],
+      faults::RootCause::kConnectorContamination, event.time);
+
+  MitigationSimulation sim(topo, config);
+  const SimulationMetrics metrics = sim.run({event});
+  EXPECT_EQ(metrics.faults_injected, 1u);
+  EXPECT_EQ(metrics.tickets_opened, 1u);
+  EXPECT_EQ(metrics.repair_attempts, 1u);
+  EXPECT_EQ(metrics.first_attempt_successes, 1u);
+  // The link was disabled immediately, so it accrued no penalty, and it
+  // came back after the 2-day repair.
+  EXPECT_DOUBLE_EQ(metrics.integrated_penalty, 0.0);
+  EXPECT_EQ(topo.enabled_link_count(), topo.link_count());
+}
+
+TEST(MitigationSim, UndisabledCorruptionAccruesPenalty) {
+  auto topo = topology::build_fat_tree(4);
+  ScenarioConfig config;
+  config.duration = 4 * common::kDay;
+  config.capacity_fraction = 1.0;  // Nothing may be disabled.
+  MitigationSimulation sim(topo, config);
+
+  common::Rng rng(10);
+  faults::FaultFactory factory(topo, {}, rng);
+  trace::TraceEvent event;
+  event.time = common::kDay;
+  event.fault = factory.make_fault(
+      common::LinkId(0), faults::RootCause::kBadOrLooseTransceiver,
+      event.time);
+  const double rate = event.fault.peak_corruption_rate();
+
+  const SimulationMetrics metrics = sim.run({event});
+  EXPECT_EQ(metrics.tickets_opened, 0u);
+  EXPECT_EQ(metrics.undisabled_detections, 1u);
+  // Penalty rate = I(f) = f for the remaining 3 days.
+  EXPECT_NEAR(metrics.integrated_penalty, rate * 3 * common::kDay,
+              rate * common::kDay * 1e-6);
+  // Hourly bins sum to the integral.
+  double binned = 0.0;
+  for (double h : metrics.hourly_penalty) binned += h;
+  EXPECT_NEAR(binned, metrics.integrated_penalty, 1e-9);
+}
+
+TEST(MitigationSim, FailedRepairTakesTwoRounds) {
+  auto topo = topology::build_fat_tree(4);
+  ScenarioConfig config;
+  config.duration = 10 * common::kDay;
+  config.capacity_fraction = 0.5;
+  config.outcome.first_attempt_success = 0.0;  // Always fail once.
+  MitigationSimulation sim(topo, config);
+
+  common::Rng rng(11);
+  faults::FaultFactory factory(topo, {}, rng);
+  trace::TraceEvent event;
+  event.time = 0;
+  event.fault = factory.make_fault(
+      common::LinkId(0), faults::RootCause::kConnectorContamination, 0);
+
+  const SimulationMetrics metrics = sim.run({event});
+  EXPECT_EQ(metrics.repair_attempts, 2u);
+  EXPECT_EQ(metrics.first_attempts, 1u);
+  EXPECT_EQ(metrics.first_attempt_successes, 0u);
+  EXPECT_EQ(metrics.tickets_opened, 2u);
+  EXPECT_EQ(topo.enabled_link_count(), topo.link_count());
+}
+
+TEST(MitigationSim, ActionModelRepairsViaRecommendation) {
+  auto topo = topology::build_fat_tree(8);
+  ScenarioConfig config;
+  config.duration = 20 * common::kDay;
+  config.capacity_fraction = 0.5;
+  config.repair_model = RepairModelKind::kAction;
+  config.technician_follow_probability = 1.0;
+  MitigationSimulation sim(topo, config);
+
+  common::Rng rng(12);
+  faults::FaultMixParams mix;
+  mix.p_back_reflection = 0.0;
+  faults::FaultFactory factory(topo, mix, rng);
+  std::vector<trace::TraceEvent> events;
+  trace::TraceEvent event;
+  event.time = 0;
+  event.fault = factory.make_fault(
+      common::LinkId(5), faults::RootCause::kConnectorContamination, 0);
+  events.push_back(event);
+
+  const SimulationMetrics metrics = sim.run(events);
+  // Clean recommendation fixes contamination on the first visit.
+  EXPECT_EQ(metrics.repair_attempts, 1u);
+  EXPECT_EQ(metrics.first_attempt_successes, 1u);
+  EXPECT_EQ(topo.enabled_link_count(), topo.link_count());
+}
+
+TEST(MitigationSim, SharedFaultRepairSilencesPeers) {
+  auto topo = topology::build_fat_tree(8);
+  ScenarioConfig config;
+  config.duration = 30 * common::kDay;
+  config.capacity_fraction = 0.25;
+  config.outcome.first_attempt_success = 1.0;
+  MitigationSimulation sim(topo, config);
+
+  common::Rng rng(13);
+  faults::FaultFactory factory(topo, {}, rng);
+  trace::TraceEvent event;
+  event.time = 0;
+  event.fault = factory.make_fault(
+      topo.switch_at(topo.tors().front()).uplinks[0],
+      faults::RootCause::kSharedComponent, 0);
+  const std::size_t width = event.fault.links.size();
+  ASSERT_GT(width, 1u);
+
+  const SimulationMetrics metrics = sim.run({event});
+  EXPECT_EQ(metrics.faults_injected, 1u);
+  EXPECT_EQ(metrics.tickets_opened, width);
+  // Every link is healthy and enabled by the end.
+  EXPECT_EQ(topo.enabled_link_count(), topo.link_count());
+  EXPECT_DOUBLE_EQ(metrics.penalty_series.back().value, 0.0);
+}
+
+TEST(MitigationSim, CorrOptNeverViolatesCapacity) {
+  auto topo = topology::build_fat_tree(8);
+  ScenarioConfig config;
+  config.duration = 60 * common::kDay;
+  config.capacity_fraction = 0.75;
+  config.seed = 14;
+  const auto events = make_trace(topo, 0.002, config.duration, 15);
+  ASSERT_GT(events.size(), 10u);
+  MitigationSimulation sim(topo, config);
+  const SimulationMetrics metrics = sim.run(events);
+  for (const TimePoint& p : metrics.worst_tor_fraction) {
+    EXPECT_GE(p.value, 0.75 - 1e-9) << "at t=" << p.time;
+  }
+  EXPECT_GT(metrics.tickets_opened, 0u);
+}
+
+TEST(MitigationSim, CorrOptBeatsSwitchLocalOnPenalty) {
+  // The headline result (Figure 14): under a 75% constraint CorrOpt's
+  // integrated penalty is far below switch-local's.
+  const auto events_seed = 16;
+  double integrated[2] = {0.0, 0.0};
+  const core::CheckerMode modes[2] = {core::CheckerMode::kSwitchLocal,
+                                      core::CheckerMode::kCorrOpt};
+  for (int i = 0; i < 2; ++i) {
+    auto topo = topology::build_fat_tree(8);
+    ScenarioConfig config;
+    config.duration = 60 * common::kDay;
+    config.capacity_fraction = 0.75;
+    config.mode = modes[i];
+    config.seed = 17;
+    const auto events = make_trace(topo, 0.004, config.duration,
+                                   events_seed);
+    MitigationSimulation sim(topo, config);
+    integrated[i] = sim.run(events).integrated_penalty;
+  }
+  EXPECT_LT(integrated[1], integrated[0] * 0.5)
+      << "CorrOpt should cut corruption losses by far more than 2x";
+}
+
+TEST(MitigationSim, PenaltySeriesIsConsistent) {
+  auto topo = topology::build_fat_tree(8);
+  ScenarioConfig config;
+  config.duration = 30 * common::kDay;
+  config.capacity_fraction = 0.75;
+  config.seed = 18;
+  const auto events = make_trace(topo, 0.003, config.duration, 19);
+  MitigationSimulation sim(topo, config);
+  const SimulationMetrics metrics = sim.run(events);
+
+  // Re-integrate the step series and compare against the accumulator.
+  double integral = 0.0;
+  for (std::size_t i = 1; i < metrics.penalty_series.size(); ++i) {
+    integral += metrics.penalty_series[i - 1].value *
+                static_cast<double>(metrics.penalty_series[i].time -
+                                    metrics.penalty_series[i - 1].time);
+  }
+  integral += metrics.penalty_series.back().value *
+              static_cast<double>(config.duration -
+                                  metrics.penalty_series.back().time);
+  EXPECT_NEAR(integral, metrics.integrated_penalty,
+              1e-9 + metrics.integrated_penalty * 1e-9);
+}
+
+}  // namespace
+}  // namespace corropt::sim

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "telemetry/monitor.h"
+#include "telemetry/network_state.h"
+#include "telemetry/optical.h"
+#include "topology/topology.h"
+
+namespace corropt::telemetry {
+namespace {
+
+using topology::LinkDirection;
+using topology::Topology;
+
+Topology single_link_topo() {
+  Topology topo;
+  const auto tor = topo.add_switch(0, "tor");
+  const auto spine = topo.add_switch(1, "spine");
+  topo.add_link(tor, spine);
+  return topo;
+}
+
+TEST(Optical, HealthyPowersClassifyHigh) {
+  const OpticalTech tech = default_tech();
+  const double rx = tech.rx_power_dbm(tech.nominal_tx_dbm, 0.0);
+  EXPECT_DOUBLE_EQ(rx, -4.0);
+  EXPECT_FALSE(tech.rx_is_low(rx));
+  EXPECT_FALSE(tech.tx_is_low(tech.nominal_tx_dbm));
+}
+
+TEST(Optical, AttenuationDropsRxBelowThreshold) {
+  const OpticalTech tech = default_tech();
+  const double rx = tech.rx_power_dbm(tech.nominal_tx_dbm, 10.0);
+  EXPECT_DOUBLE_EQ(rx, -14.0);
+  EXPECT_TRUE(tech.rx_is_low(rx));
+}
+
+TEST(Optical, TechnologiesDiffer) {
+  const OpticalTech lr = long_reach_tech();
+  EXPECT_NE(lr.name, default_tech().name);
+  EXPECT_GT(lr.nominal_tx_dbm, default_tech().nominal_tx_dbm);
+}
+
+TEST(NetworkState, InitializesNominalPowers) {
+  const Topology topo = single_link_topo();
+  NetworkState state(topo, default_tech());
+  const auto up = topology::direction_id(common::LinkId(0),
+                                         LinkDirection::kUp);
+  EXPECT_DOUBLE_EQ(state.tx_power_dbm(up), 0.0);
+  EXPECT_DOUBLE_EQ(state.rx_power_dbm(up), -4.0);
+  EXPECT_FALSE(state.rx_is_low(up));
+  EXPECT_FALSE(state.tx_is_low(up));
+}
+
+TEST(NetworkState, LinkCorruptionRateIsWorseDirection) {
+  const Topology topo = single_link_topo();
+  NetworkState state(topo, default_tech());
+  const common::LinkId link(0);
+  const auto up = topology::direction_id(link, LinkDirection::kUp);
+  const auto down = topology::direction_id(link, LinkDirection::kDown);
+  state.direction(up).corruption_rate = 1e-5;
+  state.direction(down).corruption_rate = 3e-4;
+  EXPECT_DOUBLE_EQ(state.link_corruption_rate(link), 3e-4);
+  EXPECT_TRUE(state.link_is_corrupting(link));
+  EXPECT_FALSE(state.link_is_corrupting(link, 1e-3));
+}
+
+TEST(Monitor, CountsMatchLoadAndRates) {
+  const Topology topo = single_link_topo();
+  NetworkState state(topo, default_tech());
+  common::Rng rng(1);
+  PollingMonitor monitor(state, rng, /*packets_per_epoch_at_line_rate=*/1e6);
+
+  const auto up = topology::direction_id(common::LinkId(0),
+                                         LinkDirection::kUp);
+  state.direction(up).corruption_rate = 1e-3;
+
+  DirectionLoad load;
+  load.utilization = 0.5;
+  load.congestion_rate = 2e-3;
+  // Average over many epochs: corruption drops ~ packets * rate.
+  std::uint64_t packets = 0, corr = 0, cong = 0;
+  for (int i = 0; i < 200; ++i) {
+    const PollSample s = monitor.poll_direction(up, i * 900, load);
+    packets += s.packets;
+    corr += s.corruption_drops;
+    cong += s.congestion_drops;
+  }
+  EXPECT_EQ(packets, 200u * 500000u);
+  EXPECT_NEAR(static_cast<double>(corr) / packets, 1e-3, 1e-4);
+  EXPECT_NEAR(static_cast<double>(cong) / packets, 2e-3, 2e-4);
+  // Cumulative counters advanced in the state.
+  EXPECT_EQ(state.direction(up).packets, packets);
+  EXPECT_EQ(state.direction(up).corruption_drops, corr);
+}
+
+TEST(Monitor, SampleLossRates) {
+  PollSample s;
+  s.packets = 1000;
+  s.corruption_drops = 10;
+  s.congestion_drops = 30;
+  EXPECT_DOUBLE_EQ(s.corruption_loss_rate(), 0.01);
+  EXPECT_DOUBLE_EQ(s.congestion_loss_rate(), 0.03);
+  EXPECT_DOUBLE_EQ(s.total_loss_rate(), 0.04);
+  PollSample empty;
+  EXPECT_DOUBLE_EQ(empty.corruption_loss_rate(), 0.0);
+}
+
+TEST(Monitor, DisabledLinkCarriesNoTraffic) {
+  Topology topo = single_link_topo();
+  topo.set_enabled(common::LinkId(0), false);
+  NetworkState state(topo, default_tech());
+  common::Rng rng(2);
+  PollingMonitor monitor(state, rng);
+  const auto up = topology::direction_id(common::LinkId(0),
+                                         LinkDirection::kUp);
+  DirectionLoad load;
+  load.utilization = 0.9;
+  const PollSample s = monitor.poll_direction(up, 0, load);
+  EXPECT_EQ(s.packets, 0u);
+  EXPECT_EQ(s.corruption_drops, 0u);
+  EXPECT_DOUBLE_EQ(s.utilization, 0.0);
+  // Optics are still reported: lasers stay on while disabled.
+  EXPECT_DOUBLE_EQ(s.rx_power_dbm, -4.0);
+}
+
+TEST(Monitor, PollAllDirections) {
+  const Topology topo = single_link_topo();
+  NetworkState state(topo, default_tech());
+  common::Rng rng(3);
+  PollingMonitor monitor(state, rng);
+  const auto samples = monitor.poll(0, common::kPollInterval,
+                                    [](common::DirectionId, common::SimTime) {
+                                      DirectionLoad load;
+                                      load.utilization = 0.1;
+                                      return load;
+                                    });
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_EQ(samples[0].direction.value(), 0u);
+  EXPECT_EQ(samples[1].direction.value(), 1u);
+  EXPECT_GT(samples[0].packets, 0u);
+}
+
+}  // namespace
+}  // namespace corropt::telemetry

@@ -1,0 +1,121 @@
+// Structural property tests for the XGFT builder: arities, disjointness,
+// pod containment and closed-form path counts, swept over random specs.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "corropt/path_counter.h"
+#include "topology/xgft.h"
+
+namespace corropt::topology {
+namespace {
+
+XgftSpec random_spec(common::Rng& rng) {
+  XgftSpec spec;
+  const int height = 2 + static_cast<int>(rng.uniform_index(2));
+  for (int i = 0; i < height; ++i) {
+    spec.children_per_node.push_back(
+        1 + static_cast<int>(rng.uniform_index(4)));
+    spec.parents_per_node.push_back(
+        1 + static_cast<int>(rng.uniform_index(4)));
+  }
+  return spec;
+}
+
+class XgftPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(XgftPropertyTest, AritiesMatchSpec) {
+  common::Rng rng(static_cast<std::uint64_t>(GetParam()) * 71 + 3);
+  const XgftSpec spec = random_spec(rng);
+  const Topology topo = build_xgft(spec);
+
+  ASSERT_EQ(topo.level_count(), spec.height() + 1);
+  for (int level = 0; level <= spec.height(); ++level) {
+    EXPECT_EQ(topo.switches_at_level(level).size(),
+              spec.nodes_at_level(level));
+  }
+  EXPECT_EQ(topo.link_count(), spec.total_links());
+
+  for (const Switch& sw : topo.switches()) {
+    if (sw.level < spec.height()) {
+      EXPECT_EQ(sw.uplinks.size(),
+                static_cast<std::size_t>(
+                    spec.parents_per_node[static_cast<std::size_t>(
+                        sw.level)]))
+          << "w_" << sw.level + 1 << " parents per level-" << sw.level
+          << " node";
+    } else {
+      EXPECT_TRUE(sw.uplinks.empty());
+    }
+    if (sw.level > 0) {
+      EXPECT_EQ(sw.downlinks.size(),
+                static_cast<std::size_t>(
+                    spec.children_per_node[static_cast<std::size_t>(
+                        sw.level - 1)]));
+    } else {
+      EXPECT_TRUE(sw.downlinks.empty());
+    }
+  }
+}
+
+TEST_P(XgftPropertyTest, ParentsAreDistinct) {
+  common::Rng rng(static_cast<std::uint64_t>(GetParam()) * 73 + 5);
+  const XgftSpec spec = random_spec(rng);
+  const Topology topo = build_xgft(spec);
+  for (const Switch& sw : topo.switches()) {
+    std::set<common::SwitchId> parents;
+    for (common::LinkId link : sw.uplinks) {
+      parents.insert(topo.link_at(link).upper);
+    }
+    EXPECT_EQ(parents.size(), sw.uplinks.size())
+        << "duplicate parents for switch " << sw.id.value();
+  }
+}
+
+TEST_P(XgftPropertyTest, EveryTorReachesEverySpine) {
+  // Full bisection property of the XGFT family: every ToR has at least
+  // one valley-free path, and the per-ToR path count is the product of
+  // the parent arities.
+  common::Rng rng(static_cast<std::uint64_t>(GetParam()) * 79 + 7);
+  const XgftSpec spec = random_spec(rng);
+  const Topology topo = build_xgft(spec);
+  core::PathCounter counter(topo);
+  std::uint64_t expected = 1;
+  for (int w : spec.parents_per_node) {
+    expected *= static_cast<std::uint64_t>(w);
+  }
+  for (common::SwitchId tor : topo.tors()) {
+    EXPECT_EQ(counter.design_paths()[tor.index()], expected);
+  }
+}
+
+TEST_P(XgftPropertyTest, PodsPartitionLowerLevels) {
+  common::Rng rng(static_cast<std::uint64_t>(GetParam()) * 83 + 11);
+  const XgftSpec spec = random_spec(rng);
+  const Topology topo = build_xgft(spec);
+  // Pod count = product of child arities above level 1.
+  std::size_t pods = 1;
+  for (int j = 1; j < spec.height(); ++j) {
+    pods *= static_cast<std::size_t>(
+        spec.children_per_node[static_cast<std::size_t>(j)]);
+  }
+  std::set<int> seen;
+  for (common::SwitchId tor : topo.tors()) {
+    const int pod = topo.switch_at(tor).pod;
+    ASSERT_GE(pod, 0);
+    ASSERT_LT(static_cast<std::size_t>(pod), pods);
+    seen.insert(pod);
+    // A ToR's parents are in the same pod.
+    for (common::LinkId link : topo.switch_at(tor).uplinks) {
+      EXPECT_EQ(topo.switch_at(topo.link_at(link).upper).pod, pod);
+    }
+  }
+  EXPECT_EQ(seen.size(), pods) << "every pod contains at least one ToR";
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSpecs, XgftPropertyTest,
+                         ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace corropt::topology

@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Plot the `csv,`-prefixed rows the bench binaries emit.
+
+Usage:
+    for b in build/bench/bench_*; do $b; done > all_benches.txt
+    python3 tools/plot_benches.py all_benches.txt out/
+
+Produces one PNG per exhibit that has a natural plot (Figure 1, 2b, 3b,
+4, 14, 17, 18). Requires matplotlib; the benches themselves do not.
+"""
+
+import collections
+import os
+import sys
+
+
+def parse(path):
+    rows = collections.defaultdict(list)
+    with open(path) as handle:
+        for line in handle:
+            if not line.startswith("csv,"):
+                continue
+            parts = line.strip().split(",")
+            rows[parts[1]].append(parts[2:])
+    return rows
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__)
+        return 2
+    rows = parse(sys.argv[1])
+    outdir = sys.argv[2]
+    os.makedirs(outdir, exist_ok=True)
+
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    def save(fig, name):
+        fig.savefig(os.path.join(outdir, name), dpi=150,
+                    bbox_inches="tight")
+        plt.close(fig)
+        print("wrote", os.path.join(outdir, name))
+
+    if "fig1" in rows:
+        data = [(int(r[0]), float(r[2]), float(r[3])) for r in rows["fig1"]]
+        fig, ax = plt.subplots()
+        ax.errorbar([d[0] for d in data], [d[1] for d in data],
+                    yerr=[d[2] for d in data], fmt="o")
+        ax.axhline(1.0, linestyle="--", color="grey")
+        ax.set_yscale("log")
+        ax.set_xlabel("DCN (sorted by size)")
+        ax.set_ylabel("corruption / congestion losses per day")
+        ax.set_title("Figure 1: extent of corruption")
+        save(fig, "fig01.png")
+
+    for key, title, fname in [("fig2b", "Figure 2b: CV of loss rate",
+                               "fig02b.png"),
+                              ("fig3b", "Figure 3b: Pearson correlation",
+                               "fig03b.png")]:
+        if key not in rows:
+            continue
+        data = [(float(r[0]), float(r[1]), float(r[2])) for r in rows[key]]
+        fig, ax = plt.subplots()
+        ax.plot([d[1] for d in data], [d[0] for d in data],
+                label="corruption")
+        ax.plot([d[2] for d in data], [d[0] for d in data],
+                label="congestion")
+        ax.set_ylabel("CDF")
+        ax.legend()
+        ax.set_title(title)
+        save(fig, fname)
+
+    if "fig4" in rows:
+        data = [(int(r[0]), float(r[1]), float(r[2])) for r in rows["fig4"]]
+        fig, ax = plt.subplots()
+        ax.plot([d[0] for d in data], [d[1] for d in data], "o-",
+                label="corruption")
+        ax.plot([d[0] for d in data], [d[2] for d in data], "s-",
+                label="congestion")
+        ax.set_xlabel("worst x% of lossy links")
+        ax.set_ylabel("locality ratio")
+        ax.set_ylim(0, 1.1)
+        ax.legend()
+        ax.set_title("Figure 4: spatial locality")
+        save(fig, "fig04.png")
+
+    if "fig14" in rows:
+        series = collections.defaultdict(lambda: ([], [], []))
+        for r in rows["fig14"]:
+            dcn, day, sl, co = r[0], int(r[1]), float(r[2]), float(r[3])
+            series[dcn][0].append(day)
+            series[dcn][1].append(max(sl, 1e-10))
+            series[dcn][2].append(max(co, 1e-10))
+        for dcn, (days, sl, co) in series.items():
+            fig, ax = plt.subplots()
+            ax.semilogy(days, sl, label="switch-local")
+            ax.semilogy(days, co, label="CorrOpt")
+            ax.set_xlabel("day")
+            ax.set_ylabel("penalty / s")
+            ax.legend()
+            ax.set_title(f"Figure 14: total penalty over time ({dcn})")
+            save(fig, f"fig14_{dcn}.png")
+
+    if "fig17" in rows:
+        series = collections.defaultdict(lambda: ([], []))
+        for r in rows["fig17"]:
+            dcn, c, ratio = r[0], float(r[1]), float(r[4])
+            series[dcn][0].append(c * 100)
+            series[dcn][1].append(max(ratio, 1e-9))
+        fig, ax = plt.subplots()
+        for dcn, (cs, ratios) in series.items():
+            ax.semilogy(cs, ratios, "o-", label=dcn)
+        ax.set_xlabel("capacity constraint (%)")
+        ax.set_ylabel("penalty ratio (CorrOpt / switch-local)")
+        ax.legend()
+        ax.set_title("Figure 17: constraint sweep")
+        save(fig, "fig17.png")
+
+    if "fig18" in rows:
+        series = collections.defaultdict(lambda: ([], []))
+        for r in rows["fig18"]:
+            c, q, ratio = float(r[0]), float(r[1]), float(r[2])
+            series[c][0].append(max(ratio, 1e-9))
+            series[c][1].append(q)
+        fig, ax = plt.subplots()
+        for c, (ratios, qs) in series.items():
+            ax.semilogx(ratios, qs, "o-", label=f"c={c:.3f}")
+        ax.set_xlabel("hourly penalty ratio (CorrOpt / fast checker)")
+        ax.set_ylabel("CDF")
+        ax.legend()
+        ax.set_title("Figure 18: optimizer gain")
+        save(fig, "fig18.png")
+
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
