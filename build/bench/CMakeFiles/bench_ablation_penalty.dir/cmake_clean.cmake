@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_penalty.dir/bench_ablation_penalty.cc.o"
+  "CMakeFiles/bench_ablation_penalty.dir/bench_ablation_penalty.cc.o.d"
+  "bench_ablation_penalty"
+  "bench_ablation_penalty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_penalty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_unidirectional.dir/bench_ablation_unidirectional.cc.o"
+  "CMakeFiles/bench_ablation_unidirectional.dir/bench_ablation_unidirectional.cc.o.d"
+  "bench_ablation_unidirectional"
+  "bench_ablation_unidirectional.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_unidirectional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

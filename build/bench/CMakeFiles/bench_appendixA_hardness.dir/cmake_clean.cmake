@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_appendixA_hardness.dir/bench_appendixA_hardness.cc.o"
+  "CMakeFiles/bench_appendixA_hardness.dir/bench_appendixA_hardness.cc.o.d"
+  "bench_appendixA_hardness"
+  "bench_appendixA_hardness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appendixA_hardness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

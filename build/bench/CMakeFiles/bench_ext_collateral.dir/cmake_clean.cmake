@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_collateral.dir/bench_ext_collateral.cc.o"
+  "CMakeFiles/bench_ext_collateral.dir/bench_ext_collateral.cc.o.d"
+  "bench_ext_collateral"
+  "bench_ext_collateral.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_collateral.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_costout.dir/bench_ext_costout.cc.o"
+  "CMakeFiles/bench_ext_costout.dir/bench_ext_costout.cc.o.d"
+  "bench_ext_costout"
+  "bench_ext_costout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_costout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

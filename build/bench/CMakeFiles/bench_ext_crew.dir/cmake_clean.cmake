@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_crew.dir/bench_ext_crew.cc.o"
+  "CMakeFiles/bench_ext_crew.dir/bench_ext_crew.cc.o.d"
+  "bench_ext_crew"
+  "bench_ext_crew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_crew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

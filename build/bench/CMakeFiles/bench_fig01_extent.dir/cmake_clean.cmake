@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_extent.dir/bench_fig01_extent.cc.o"
+  "CMakeFiles/bench_fig01_extent.dir/bench_fig01_extent.cc.o.d"
+  "bench_fig01_extent"
+  "bench_fig01_extent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_extent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_asymmetry.dir/bench_fig05_asymmetry.cc.o"
+  "CMakeFiles/bench_fig05_asymmetry.dir/bench_fig05_asymmetry.cc.o.d"
+  "bench_fig05_asymmetry"
+  "bench_fig05_asymmetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_asymmetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

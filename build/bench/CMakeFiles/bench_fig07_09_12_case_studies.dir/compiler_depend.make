@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig07_09_12_case_studies.
+# This may be replaced when dependencies are built.

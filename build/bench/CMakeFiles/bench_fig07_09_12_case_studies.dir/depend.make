@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig07_09_12_case_studies.
+# This may be replaced when dependencies are built.

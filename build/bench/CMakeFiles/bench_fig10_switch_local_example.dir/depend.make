@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig10_switch_local_example.
+# This may be replaced when dependencies are built.

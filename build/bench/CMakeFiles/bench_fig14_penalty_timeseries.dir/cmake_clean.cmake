@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_penalty_timeseries.dir/bench_fig14_penalty_timeseries.cc.o"
+  "CMakeFiles/bench_fig14_penalty_timeseries.dir/bench_fig14_penalty_timeseries.cc.o.d"
+  "bench_fig14_penalty_timeseries"
+  "bench_fig14_penalty_timeseries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_penalty_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

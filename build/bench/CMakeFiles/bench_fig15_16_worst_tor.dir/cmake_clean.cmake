@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_16_worst_tor.dir/bench_fig15_16_worst_tor.cc.o"
+  "CMakeFiles/bench_fig15_16_worst_tor.dir/bench_fig15_16_worst_tor.cc.o.d"
+  "bench_fig15_16_worst_tor"
+  "bench_fig15_16_worst_tor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_16_worst_tor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig20_segmentation.dir/bench_fig20_segmentation.cc.o"
+  "CMakeFiles/bench_fig20_segmentation.dir/bench_fig20_segmentation.cc.o.d"
+  "bench_fig20_segmentation"
+  "bench_fig20_segmentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig20_segmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_runtime_fastchecker.dir/bench_runtime_fastchecker.cc.o"
+  "CMakeFiles/bench_runtime_fastchecker.dir/bench_runtime_fastchecker.cc.o.d"
+  "bench_runtime_fastchecker"
+  "bench_runtime_fastchecker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_runtime_fastchecker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

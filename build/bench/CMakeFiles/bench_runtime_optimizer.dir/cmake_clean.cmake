@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_runtime_optimizer.dir/bench_runtime_optimizer.cc.o"
+  "CMakeFiles/bench_runtime_optimizer.dir/bench_runtime_optimizer.cc.o.d"
+  "bench_runtime_optimizer"
+  "bench_runtime_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_runtime_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec2_mitigation_value.dir/bench_sec2_mitigation_value.cc.o"
+  "CMakeFiles/bench_sec2_mitigation_value.dir/bench_sec2_mitigation_value.cc.o.d"
+  "bench_sec2_mitigation_value"
+  "bench_sec2_mitigation_value.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec2_mitigation_value.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

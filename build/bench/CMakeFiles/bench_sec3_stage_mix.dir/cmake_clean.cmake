@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec3_stage_mix.dir/bench_sec3_stage_mix.cc.o"
+  "CMakeFiles/bench_sec3_stage_mix.dir/bench_sec3_stage_mix.cc.o.d"
+  "bench_sec3_stage_mix"
+  "bench_sec3_stage_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec3_stage_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec51_hetero_constraints.dir/bench_sec51_hetero_constraints.cc.o"
+  "CMakeFiles/bench_sec51_hetero_constraints.dir/bench_sec51_hetero_constraints.cc.o.d"
+  "bench_sec51_hetero_constraints"
+  "bench_sec51_hetero_constraints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec51_hetero_constraints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

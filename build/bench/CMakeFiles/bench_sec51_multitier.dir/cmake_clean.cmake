@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec51_multitier.dir/bench_sec51_multitier.cc.o"
+  "CMakeFiles/bench_sec51_multitier.dir/bench_sec51_multitier.cc.o.d"
+  "bench_sec51_multitier"
+  "bench_sec51_multitier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec51_multitier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

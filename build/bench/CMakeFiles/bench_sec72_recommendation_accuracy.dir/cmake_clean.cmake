@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec72_recommendation_accuracy.dir/bench_sec72_recommendation_accuracy.cc.o"
+  "CMakeFiles/bench_sec72_recommendation_accuracy.dir/bench_sec72_recommendation_accuracy.cc.o.d"
+  "bench_sec72_recommendation_accuracy"
+  "bench_sec72_recommendation_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec72_recommendation_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec73_combined.dir/bench_sec73_combined.cc.o"
+  "CMakeFiles/bench_sec73_combined.dir/bench_sec73_combined.cc.o.d"
+  "bench_sec73_combined"
+  "bench_sec73_combined.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec73_combined.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_tab01_loss_buckets.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab02_root_causes.dir/bench_tab02_root_causes.cc.o"
+  "CMakeFiles/bench_tab02_root_causes.dir/bench_tab02_root_causes.cc.o.d"
+  "bench_tab02_root_causes"
+  "bench_tab02_root_causes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab02_root_causes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

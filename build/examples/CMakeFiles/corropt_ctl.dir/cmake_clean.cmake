@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corropt_ctl.dir/corropt_ctl.cpp.o"
+  "CMakeFiles/corropt_ctl.dir/corropt_ctl.cpp.o.d"
+  "corropt_ctl"
+  "corropt_ctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corropt_ctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

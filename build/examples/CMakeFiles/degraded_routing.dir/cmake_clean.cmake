@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/degraded_routing.dir/degraded_routing.cpp.o"
+  "CMakeFiles/degraded_routing.dir/degraded_routing.cpp.o.d"
+  "degraded_routing"
+  "degraded_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/degraded_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repair_advisor.dir/repair_advisor.cpp.o"
+  "CMakeFiles/repair_advisor.dir/repair_advisor.cpp.o.d"
+  "repair_advisor"
+  "repair_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repair_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whatif_capacity_planner.dir/whatif_capacity_planner.cpp.o"
+  "CMakeFiles/whatif_capacity_planner.dir/whatif_capacity_planner.cpp.o.d"
+  "whatif_capacity_planner"
+  "whatif_capacity_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whatif_capacity_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

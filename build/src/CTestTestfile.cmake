@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("stats")
+subdirs("topology")
+subdirs("telemetry")
+subdirs("faults")
+subdirs("congestion")
+subdirs("trace")
+subdirs("corropt")
+subdirs("repair")
+subdirs("sim")
+subdirs("analysis")

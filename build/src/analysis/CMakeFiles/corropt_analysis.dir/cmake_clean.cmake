@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corropt_analysis.dir/locality.cc.o"
+  "CMakeFiles/corropt_analysis.dir/locality.cc.o.d"
+  "CMakeFiles/corropt_analysis.dir/measurement_study.cc.o"
+  "CMakeFiles/corropt_analysis.dir/measurement_study.cc.o.d"
+  "libcorropt_analysis.a"
+  "libcorropt_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corropt_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corropt_common.dir/csv.cc.o"
+  "CMakeFiles/corropt_common.dir/csv.cc.o.d"
+  "CMakeFiles/corropt_common.dir/logging.cc.o"
+  "CMakeFiles/corropt_common.dir/logging.cc.o.d"
+  "CMakeFiles/corropt_common.dir/rng.cc.o"
+  "CMakeFiles/corropt_common.dir/rng.cc.o.d"
+  "libcorropt_common.a"
+  "libcorropt_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corropt_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

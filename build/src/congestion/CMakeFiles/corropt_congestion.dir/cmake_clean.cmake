@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corropt_congestion.dir/congestion_model.cc.o"
+  "CMakeFiles/corropt_congestion.dir/congestion_model.cc.o.d"
+  "libcorropt_congestion.a"
+  "libcorropt_congestion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corropt_congestion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corropt/capacity.cc" "src/corropt/CMakeFiles/corropt_core.dir/capacity.cc.o" "gcc" "src/corropt/CMakeFiles/corropt_core.dir/capacity.cc.o.d"
+  "/root/repo/src/corropt/controller.cc" "src/corropt/CMakeFiles/corropt_core.dir/controller.cc.o" "gcc" "src/corropt/CMakeFiles/corropt_core.dir/controller.cc.o.d"
+  "/root/repo/src/corropt/corruption_set.cc" "src/corropt/CMakeFiles/corropt_core.dir/corruption_set.cc.o" "gcc" "src/corropt/CMakeFiles/corropt_core.dir/corruption_set.cc.o.d"
+  "/root/repo/src/corropt/fast_checker.cc" "src/corropt/CMakeFiles/corropt_core.dir/fast_checker.cc.o" "gcc" "src/corropt/CMakeFiles/corropt_core.dir/fast_checker.cc.o.d"
+  "/root/repo/src/corropt/optimizer.cc" "src/corropt/CMakeFiles/corropt_core.dir/optimizer.cc.o" "gcc" "src/corropt/CMakeFiles/corropt_core.dir/optimizer.cc.o.d"
+  "/root/repo/src/corropt/path_counter.cc" "src/corropt/CMakeFiles/corropt_core.dir/path_counter.cc.o" "gcc" "src/corropt/CMakeFiles/corropt_core.dir/path_counter.cc.o.d"
+  "/root/repo/src/corropt/penalty.cc" "src/corropt/CMakeFiles/corropt_core.dir/penalty.cc.o" "gcc" "src/corropt/CMakeFiles/corropt_core.dir/penalty.cc.o.d"
+  "/root/repo/src/corropt/recommendation.cc" "src/corropt/CMakeFiles/corropt_core.dir/recommendation.cc.o" "gcc" "src/corropt/CMakeFiles/corropt_core.dir/recommendation.cc.o.d"
+  "/root/repo/src/corropt/routing.cc" "src/corropt/CMakeFiles/corropt_core.dir/routing.cc.o" "gcc" "src/corropt/CMakeFiles/corropt_core.dir/routing.cc.o.d"
+  "/root/repo/src/corropt/sat_gadget.cc" "src/corropt/CMakeFiles/corropt_core.dir/sat_gadget.cc.o" "gcc" "src/corropt/CMakeFiles/corropt_core.dir/sat_gadget.cc.o.d"
+  "/root/repo/src/corropt/segmentation.cc" "src/corropt/CMakeFiles/corropt_core.dir/segmentation.cc.o" "gcc" "src/corropt/CMakeFiles/corropt_core.dir/segmentation.cc.o.d"
+  "/root/repo/src/corropt/switch_local.cc" "src/corropt/CMakeFiles/corropt_core.dir/switch_local.cc.o" "gcc" "src/corropt/CMakeFiles/corropt_core.dir/switch_local.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/corropt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/corropt_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/corropt_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/corropt_faults.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corropt_core.dir/capacity.cc.o"
+  "CMakeFiles/corropt_core.dir/capacity.cc.o.d"
+  "CMakeFiles/corropt_core.dir/controller.cc.o"
+  "CMakeFiles/corropt_core.dir/controller.cc.o.d"
+  "CMakeFiles/corropt_core.dir/corruption_set.cc.o"
+  "CMakeFiles/corropt_core.dir/corruption_set.cc.o.d"
+  "CMakeFiles/corropt_core.dir/fast_checker.cc.o"
+  "CMakeFiles/corropt_core.dir/fast_checker.cc.o.d"
+  "CMakeFiles/corropt_core.dir/optimizer.cc.o"
+  "CMakeFiles/corropt_core.dir/optimizer.cc.o.d"
+  "CMakeFiles/corropt_core.dir/path_counter.cc.o"
+  "CMakeFiles/corropt_core.dir/path_counter.cc.o.d"
+  "CMakeFiles/corropt_core.dir/penalty.cc.o"
+  "CMakeFiles/corropt_core.dir/penalty.cc.o.d"
+  "CMakeFiles/corropt_core.dir/recommendation.cc.o"
+  "CMakeFiles/corropt_core.dir/recommendation.cc.o.d"
+  "CMakeFiles/corropt_core.dir/routing.cc.o"
+  "CMakeFiles/corropt_core.dir/routing.cc.o.d"
+  "CMakeFiles/corropt_core.dir/sat_gadget.cc.o"
+  "CMakeFiles/corropt_core.dir/sat_gadget.cc.o.d"
+  "CMakeFiles/corropt_core.dir/segmentation.cc.o"
+  "CMakeFiles/corropt_core.dir/segmentation.cc.o.d"
+  "CMakeFiles/corropt_core.dir/switch_local.cc.o"
+  "CMakeFiles/corropt_core.dir/switch_local.cc.o.d"
+  "libcorropt_core.a"
+  "libcorropt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corropt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

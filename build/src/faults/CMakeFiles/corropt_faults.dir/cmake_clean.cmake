@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corropt_faults.dir/fault_factory.cc.o"
+  "CMakeFiles/corropt_faults.dir/fault_factory.cc.o.d"
+  "CMakeFiles/corropt_faults.dir/injector.cc.o"
+  "CMakeFiles/corropt_faults.dir/injector.cc.o.d"
+  "libcorropt_faults.a"
+  "libcorropt_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corropt_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/repair/technician.cc" "src/repair/CMakeFiles/corropt_repair.dir/technician.cc.o" "gcc" "src/repair/CMakeFiles/corropt_repair.dir/technician.cc.o.d"
+  "/root/repo/src/repair/ticket.cc" "src/repair/CMakeFiles/corropt_repair.dir/ticket.cc.o" "gcc" "src/repair/CMakeFiles/corropt_repair.dir/ticket.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/corropt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/corropt_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/corropt_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/corropt_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corropt_repair.dir/technician.cc.o"
+  "CMakeFiles/corropt_repair.dir/technician.cc.o.d"
+  "CMakeFiles/corropt_repair.dir/ticket.cc.o"
+  "CMakeFiles/corropt_repair.dir/ticket.cc.o.d"
+  "libcorropt_repair.a"
+  "libcorropt_repair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corropt_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corropt_sim.dir/mitigation_sim.cc.o"
+  "CMakeFiles/corropt_sim.dir/mitigation_sim.cc.o.d"
+  "libcorropt_sim.a"
+  "libcorropt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corropt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corropt_stats.dir/cdf.cc.o"
+  "CMakeFiles/corropt_stats.dir/cdf.cc.o.d"
+  "CMakeFiles/corropt_stats.dir/correlation.cc.o"
+  "CMakeFiles/corropt_stats.dir/correlation.cc.o.d"
+  "CMakeFiles/corropt_stats.dir/descriptive.cc.o"
+  "CMakeFiles/corropt_stats.dir/descriptive.cc.o.d"
+  "CMakeFiles/corropt_stats.dir/histogram.cc.o"
+  "CMakeFiles/corropt_stats.dir/histogram.cc.o.d"
+  "libcorropt_stats.a"
+  "libcorropt_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corropt_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/telemetry/detector.cc" "src/telemetry/CMakeFiles/corropt_telemetry.dir/detector.cc.o" "gcc" "src/telemetry/CMakeFiles/corropt_telemetry.dir/detector.cc.o.d"
+  "/root/repo/src/telemetry/monitor.cc" "src/telemetry/CMakeFiles/corropt_telemetry.dir/monitor.cc.o" "gcc" "src/telemetry/CMakeFiles/corropt_telemetry.dir/monitor.cc.o.d"
+  "/root/repo/src/telemetry/network_state.cc" "src/telemetry/CMakeFiles/corropt_telemetry.dir/network_state.cc.o" "gcc" "src/telemetry/CMakeFiles/corropt_telemetry.dir/network_state.cc.o.d"
+  "/root/repo/src/telemetry/optical.cc" "src/telemetry/CMakeFiles/corropt_telemetry.dir/optical.cc.o" "gcc" "src/telemetry/CMakeFiles/corropt_telemetry.dir/optical.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/corropt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/corropt_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corropt_telemetry.dir/detector.cc.o"
+  "CMakeFiles/corropt_telemetry.dir/detector.cc.o.d"
+  "CMakeFiles/corropt_telemetry.dir/monitor.cc.o"
+  "CMakeFiles/corropt_telemetry.dir/monitor.cc.o.d"
+  "CMakeFiles/corropt_telemetry.dir/network_state.cc.o"
+  "CMakeFiles/corropt_telemetry.dir/network_state.cc.o.d"
+  "CMakeFiles/corropt_telemetry.dir/optical.cc.o"
+  "CMakeFiles/corropt_telemetry.dir/optical.cc.o.d"
+  "libcorropt_telemetry.a"
+  "libcorropt_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corropt_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corropt_topology.dir/fat_tree.cc.o"
+  "CMakeFiles/corropt_topology.dir/fat_tree.cc.o.d"
+  "CMakeFiles/corropt_topology.dir/io.cc.o"
+  "CMakeFiles/corropt_topology.dir/io.cc.o.d"
+  "CMakeFiles/corropt_topology.dir/topology.cc.o"
+  "CMakeFiles/corropt_topology.dir/topology.cc.o.d"
+  "CMakeFiles/corropt_topology.dir/xgft.cc.o"
+  "CMakeFiles/corropt_topology.dir/xgft.cc.o.d"
+  "libcorropt_topology.a"
+  "libcorropt_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corropt_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corropt_trace.dir/trace.cc.o"
+  "CMakeFiles/corropt_trace.dir/trace.cc.o.d"
+  "libcorropt_trace.a"
+  "libcorropt_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corropt_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcorropt_trace.a"
+)

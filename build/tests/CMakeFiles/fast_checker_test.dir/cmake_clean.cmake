@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fast_checker_test.dir/fast_checker_test.cc.o"
+  "CMakeFiles/fast_checker_test.dir/fast_checker_test.cc.o.d"
+  "fast_checker_test"
+  "fast_checker_test.pdb"
+  "fast_checker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fast_checker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

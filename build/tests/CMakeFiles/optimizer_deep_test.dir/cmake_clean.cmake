@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimizer_deep_test.dir/optimizer_deep_test.cc.o"
+  "CMakeFiles/optimizer_deep_test.dir/optimizer_deep_test.cc.o.d"
+  "optimizer_deep_test"
+  "optimizer_deep_test.pdb"
+  "optimizer_deep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimizer_deep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

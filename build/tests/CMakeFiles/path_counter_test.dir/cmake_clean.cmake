@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/path_counter_test.dir/path_counter_test.cc.o"
+  "CMakeFiles/path_counter_test.dir/path_counter_test.cc.o.d"
+  "path_counter_test"
+  "path_counter_test.pdb"
+  "path_counter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/path_counter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

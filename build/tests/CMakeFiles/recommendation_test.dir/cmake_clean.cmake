@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recommendation_test.dir/recommendation_test.cc.o"
+  "CMakeFiles/recommendation_test.dir/recommendation_test.cc.o.d"
+  "recommendation_test"
+  "recommendation_test.pdb"
+  "recommendation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recommendation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

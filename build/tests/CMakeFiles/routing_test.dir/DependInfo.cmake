@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/routing_test.cc" "tests/CMakeFiles/routing_test.dir/routing_test.cc.o" "gcc" "tests/CMakeFiles/routing_test.dir/routing_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/corropt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/corropt_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/corropt_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/corropt_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/corropt_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/congestion/CMakeFiles/corropt_congestion.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/corropt_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/corropt/CMakeFiles/corropt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/repair/CMakeFiles/corropt_repair.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/corropt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/corropt_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sat_gadget_test.dir/sat_gadget_test.cc.o"
+  "CMakeFiles/sat_gadget_test.dir/sat_gadget_test.cc.o.d"
+  "sat_gadget_test"
+  "sat_gadget_test.pdb"
+  "sat_gadget_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sat_gadget_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/switch_local_test.dir/switch_local_test.cc.o"
+  "CMakeFiles/switch_local_test.dir/switch_local_test.cc.o.d"
+  "switch_local_test"
+  "switch_local_test.pdb"
+  "switch_local_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/switch_local_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

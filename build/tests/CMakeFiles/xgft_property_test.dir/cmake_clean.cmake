@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xgft_property_test.dir/xgft_property_test.cc.o"
+  "CMakeFiles/xgft_property_test.dir/xgft_property_test.cc.o.d"
+  "xgft_property_test"
+  "xgft_property_test.pdb"
+  "xgft_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xgft_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
