@@ -6,12 +6,19 @@
 // disable sets diverge: a linear I spends scarce capacity on raw loss
 // volume, a TCP-shaped I (Mathis 1/sqrt(p)) weights many moderate losers
 // closer to one heavy one, and a step I only cares about SLA violators.
+//
+// The 300 optimizer runs (3 shapes x 100 instances) are independent —
+// instance generation is sequential and up front — so they fan out over
+// the thread pool; per-shape aggregates land in BENCH_ablation_penalty.json.
 
 #include <cstdio>
+#include <fstream>
 #include <vector>
 
 #include "bench_util.h"
+#include "common/json.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "corropt/optimizer.h"
 #include "topology/fat_tree.h"
 
@@ -24,9 +31,15 @@ struct Shape {
   core::PenaltyFunction penalty;
 };
 
+struct InstanceResult {
+  std::vector<common::LinkId> disabled;
+  double residual_rate = 0.0;
+};
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
   bench::print_header("Ablation (penalty function)",
                       "Optimizer decisions under different I(f) on 100 "
                       "contended instances (87.5% constraint)");
@@ -36,17 +49,19 @@ int main() {
       {"tcp-throughput", core::PenaltyFunction::tcp_throughput()},
       {"step @1e-4 (SLA)", core::PenaltyFunction::step(1e-4)},
   };
+  constexpr std::size_t kShapes = 3;
+  const std::size_t instance_count = args.quick ? 20 : 100;
 
   // Contended instances: a ToR breakout pair plus two more corrupting
   // uplinks on one ToR; at 87.5% only one of the four may be disabled,
-  // so the choice exposes the penalty shape.
+  // so the choice exposes the penalty shape. Generated sequentially from
+  // one seed, before any parallel work.
   common::Rng rng(77);
   std::vector<std::vector<std::pair<common::LinkId, double>>> instances;
   {
     const topology::Topology topo = topology::build_medium_dcn();
-    for (int i = 0; i < 100; ++i) {
-      const auto tor =
-          topo.tors()[rng.uniform_index(topo.tors().size())];
+    for (std::size_t i = 0; i < instance_count; ++i) {
+      const auto tor = topo.tors()[rng.uniform_index(topo.tors().size())];
       const auto& uplinks = topo.switch_at(tor).uplinks;
       std::vector<std::pair<common::LinkId, double>> instance;
       for (std::size_t u : rng.sample_without_replacement(uplinks.size(), 4)) {
@@ -56,42 +71,69 @@ int main() {
     }
   }
 
+  // One optimizer run per (shape, instance), each on its own topology.
+  std::vector<InstanceResult> runs(kShapes * instances.size());
+  common::ThreadPool pool(args.threads);
+  common::parallel_for_each(
+      pool, runs.size(), [&shapes, &instances, &runs](std::size_t unit) {
+        const std::size_t s = unit / instances.size();
+        const std::size_t i = unit % instances.size();
+        topology::Topology topo = topology::build_medium_dcn();
+        core::CapacityConstraint constraint(0.875);
+        core::CorruptionSet corruption;
+        for (const auto& [link, rate] : instances[i]) {
+          corruption.mark(link, rate);
+        }
+        core::Optimizer optimizer(topo, constraint, shapes[s].penalty);
+        runs[unit].disabled = optimizer.run(corruption).disabled;
+        for (const auto& [link, rate] : instances[i]) {
+          if (topo.is_enabled(link)) runs[unit].residual_rate += rate;
+        }
+      });
+
   std::printf("%-24s %14s %20s %22s\n", "penalty shape", "disabled",
               "mean residual f", "agrees with linear");
-  std::vector<std::vector<common::LinkId>> linear_choice(instances.size());
-  for (const Shape& shape : shapes) {
+  std::ofstream out(args.json_path("ablation_penalty"));
+  common::JsonWriter json(out);
+  json.begin_object();
+  json.member("schema", "corropt-bench-metrics/1");
+  json.member("exhibit", "ablation_penalty");
+  json.member("generator", "bench_ablation_penalty");
+  json.member("threads", args.threads);
+  json.member("instances", instances.size());
+  json.key("scenarios").begin_array();
+  for (std::size_t s = 0; s < kShapes; ++s) {
     std::size_t disabled_total = 0;
     double residual_rate = 0.0;
     std::size_t agree = 0;
     for (std::size_t i = 0; i < instances.size(); ++i) {
-      topology::Topology topo = topology::build_medium_dcn();
-      core::CapacityConstraint constraint(0.875);
-      core::CorruptionSet corruption;
-      for (const auto& [link, rate] : instances[i]) {
-        corruption.mark(link, rate);
-      }
-      core::Optimizer optimizer(topo, constraint, shape.penalty);
-      const core::OptimizerResult result = optimizer.run(corruption);
-      disabled_total += result.disabled.size();
-      for (const auto& [link, rate] : instances[i]) {
-        if (topo.is_enabled(link)) residual_rate += rate;
-      }
-      if (shape.name == shapes[0].name) {
-        linear_choice[i] = result.disabled;
-      } else if (result.disabled == linear_choice[i]) {
-        ++agree;
-      }
+      const InstanceResult& run = runs[s * instances.size() + i];
+      disabled_total += run.disabled.size();
+      residual_rate += run.residual_rate;
+      if (run.disabled == runs[i].disabled) ++agree;  // runs[i] = linear
     }
-    std::printf("%-24s %14zu %20.3e %21.0f%%\n", shape.name, disabled_total,
-                residual_rate / static_cast<double>(instances.size()),
-                shape.name == shapes[0].name
-                    ? 100.0
-                    : 100.0 * static_cast<double>(agree) /
-                          static_cast<double>(instances.size()));
-    std::printf("csv,ablation_penalty,%s,%zu,%.6e\n", shape.name,
-                disabled_total,
-                residual_rate / static_cast<double>(instances.size()));
+    const double mean_residual =
+        residual_rate / static_cast<double>(instances.size());
+    const double agree_fraction =
+        static_cast<double>(agree) / static_cast<double>(instances.size());
+    std::printf("%-24s %14zu %20.3e %21.0f%%\n", shapes[s].name,
+                disabled_total, mean_residual,
+                s == 0 ? 100.0 : 100.0 * agree_fraction);
+    std::printf("csv,ablation_penalty,%s,%zu,%.6e\n", shapes[s].name,
+                disabled_total, mean_residual);
+    json.begin_object();
+    json.member("name", shapes[s].name);
+    json.key("metrics").begin_object();
+    json.member("disabled_total", disabled_total);
+    json.member("mean_residual_rate", mean_residual);
+    json.member("agrees_with_linear", agree_fraction);
+    json.end_object();
+    json.end_object();
   }
+  json.end_array();
+  json.end_object();
+  std::printf("wrote %s (%zu scenarios)\n",
+              args.json_path("ablation_penalty").c_str(), kShapes);
   std::printf(
       "\nunder contention the step penalty ignores sub-SLA links entirely\n"
       "and the TCP shape keeps heavy-loss links' marginal penalty flat,\n"

@@ -4,6 +4,9 @@
 // limit when needed (it spends the full budget to kill corruption), while
 // switch-local stays above it — not by prudence but because it cannot
 // disable enough links.
+//
+// The eight scenarios run across the ScenarioRunner; the sampled
+// worst-ToR series land in BENCH_fig15_16.json for plotting.
 
 #include <algorithm>
 #include <cstdio>
@@ -11,26 +14,45 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace corropt;
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
   bench::print_header("Figures 15 and 16",
                       "Worst ToR's available path fraction over 90 days "
                       "(weekly minima shown)");
 
-  for (const double constraint : {0.75, 0.50}) {
+  const common::SimDuration duration = args.duration_or(90 * common::kDay);
+  const double constraints[] = {0.75, 0.50};
+  const bench::Dcn dcns[] = {bench::Dcn::kMedium, bench::Dcn::kLarge};
+  const core::CheckerMode modes[2] = {core::CheckerMode::kSwitchLocal,
+                                      core::CheckerMode::kCorrOpt};
+  std::vector<bench::ScenarioJob> jobs;
+  for (const double constraint : constraints) {
+    for (const bench::Dcn dcn : dcns) {
+      for (const core::CheckerMode mode : modes) {
+        bench::ScenarioJob job = bench::make_dcn_job(
+            std::string(constraint == 0.75 ? "fig15/" : "fig16/") +
+                (dcn == bench::Dcn::kMedium ? "medium" : "large") + "/" +
+                bench::mode_name(mode),
+            dcn, mode, constraint, bench::kFaultsPerLinkPerDay, duration,
+            /*trace_seed=*/101, /*sim_seed=*/7);
+        job.tags.emplace_back("figure", constraint == 0.75 ? "15" : "16");
+        jobs.push_back(std::move(job));
+      }
+    }
+  }
+  const auto results = bench::ScenarioRunner(args.threads).run(jobs);
+
+  std::size_t job = 0;
+  for (const double constraint : constraints) {
     std::printf("\n=== capacity constraint %.0f%% (Figure %s) ===\n",
                 constraint * 100.0, constraint == 0.75 ? "15" : "16");
-    for (const bench::Dcn dcn : {bench::Dcn::kMedium, bench::Dcn::kLarge}) {
+    for (const bench::Dcn dcn : dcns) {
       std::printf("--- %s ---\n", bench::dcn_name(dcn));
       std::vector<std::vector<double>> weekly_min(2);
       double overall_min[2] = {1.0, 1.0};
-      const core::CheckerMode modes[2] = {core::CheckerMode::kSwitchLocal,
-                                          core::CheckerMode::kCorrOpt};
       for (int m = 0; m < 2; ++m) {
-        const auto outcome = bench::run_scenario(
-            dcn, modes[m], constraint, bench::kFaultsPerLinkPerDay,
-            90 * common::kDay, /*trace_seed=*/101, /*sim_seed=*/7);
-        const auto& series = outcome.metrics.worst_tor_fraction;
+        const auto& series = results[job++].metrics.worst_tor_fraction;
         double current = 1.0;
         common::SimTime week_end = common::kWeek;
         for (const sim::TimePoint& p : series) {
@@ -60,5 +82,10 @@ int main() {
           constraint * 100.0);
     }
   }
+  bench::MetricsJsonOptions options;
+  options.include_tor_series = true;
+  bench::write_metrics_json(args.json_path("fig15_16"), "fig15_16",
+                            "bench_fig15_16_worst_tor", args.threads,
+                            results, options);
   return 0;
 }

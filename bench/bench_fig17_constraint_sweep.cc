@@ -4,49 +4,77 @@
 // reduction in corruption losses. Paper shape: ratio 1 at a lax 25%
 // constraint (both disable everything), collapsing toward 0 at 50%, and
 // three to six orders of magnitude at 75%.
+//
+// The 16 scenarios (2 DCNs x 4 constraints x 2 modes) run across the
+// ScenarioRunner; metrics additionally land in BENCH_fig17.json.
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace corropt;
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
   bench::print_header("Figure 17",
                       "Integrated penalty of CorrOpt / switch-local vs "
                       "capacity constraint, 90-day traces");
 
+  const common::SimDuration duration = args.duration_or(90 * common::kDay);
+  const bench::Dcn dcns[] = {bench::Dcn::kMedium, bench::Dcn::kLarge};
+  const double constraints[] = {0.25, 0.50, 0.75, 0.875};
+  const core::CheckerMode modes[2] = {core::CheckerMode::kSwitchLocal,
+                                      core::CheckerMode::kCorrOpt};
+  std::vector<bench::ScenarioJob> jobs;
+  for (const bench::Dcn dcn : dcns) {
+    for (const double constraint : constraints) {
+      for (const core::CheckerMode mode : modes) {
+        std::string name = std::string(dcn == bench::Dcn::kMedium
+                                           ? "medium"
+                                           : "large") +
+                           "/c=" + std::to_string(constraint) + "/" +
+                           bench::mode_name(mode);
+        jobs.push_back(bench::make_dcn_job(
+            std::move(name), dcn, mode, constraint,
+            bench::kFaultsPerLinkPerDay, duration,
+            /*trace_seed=*/101, /*sim_seed=*/7));
+      }
+    }
+  }
+  const auto results = bench::ScenarioRunner(args.threads).run(jobs);
+
   std::printf("%12s %12s %16s %16s %12s %12s\n", "dcn", "constraint",
               "switch-local", "corropt", "ratio", "blocked");
-  for (const bench::Dcn dcn : {bench::Dcn::kMedium, bench::Dcn::kLarge}) {
-    for (const double constraint : {0.25, 0.50, 0.75, 0.875}) {
-      double penalty[2] = {};
-      std::size_t blocked = 0;
-      std::size_t reports = 1;
-      const core::CheckerMode modes[2] = {core::CheckerMode::kSwitchLocal,
-                                          core::CheckerMode::kCorrOpt};
-      for (int m = 0; m < 2; ++m) {
-        const auto outcome = bench::run_scenario(
-            dcn, modes[m], constraint, bench::kFaultsPerLinkPerDay,
-            90 * common::kDay, /*trace_seed=*/101, /*sim_seed=*/7);
-        penalty[m] = outcome.metrics.integrated_penalty;
-        if (m == 1) {
-          blocked = outcome.metrics.undisabled_detections;
-          reports = outcome.metrics.controller.corruption_reports;
-        }
-      }
-      const double ratio =
-          penalty[0] == 0.0 ? (penalty[1] == 0.0 ? 1.0 : 1e9)
-                            : penalty[1] / penalty[0];
+  std::size_t job = 0;
+  for (const bench::Dcn dcn : dcns) {
+    for (const double constraint : constraints) {
+      const auto& local = results[job++].metrics;
+      const auto& corropt = results[job++].metrics;
+      const double ratio = local.integrated_penalty == 0.0
+                               ? (corropt.integrated_penalty == 0.0 ? 1.0
+                                                                    : 1e9)
+                               : corropt.integrated_penalty /
+                                     local.integrated_penalty;
+      const std::size_t reports =
+          corropt.controller.corruption_reports == 0
+              ? 1
+              : corropt.controller.corruption_reports;
       std::printf("%12s %11.1f%% %16.3e %16.3e %12.2e %10.1f%%\n",
                   dcn == bench::Dcn::kMedium ? "medium" : "large",
-                  constraint * 100.0, penalty[0], penalty[1], ratio,
-                  100.0 * static_cast<double>(blocked) /
+                  constraint * 100.0, local.integrated_penalty,
+                  corropt.integrated_penalty, ratio,
+                  100.0 *
+                      static_cast<double>(corropt.undisabled_detections) /
                       static_cast<double>(reports));
       std::printf("csv,fig17,%s,%.3f,%.6e,%.6e,%.6e\n",
                   dcn == bench::Dcn::kMedium ? "medium" : "large",
-                  constraint, penalty[0], penalty[1], ratio);
+                  constraint, local.integrated_penalty,
+                  corropt.integrated_penalty, ratio);
     }
   }
+  bench::write_metrics_json(args.json_path("fig17"), "fig17",
+                            "bench_fig17_constraint_sweep", args.threads,
+                            results);
   std::printf(
       "\n'blocked' = corruption reports CorrOpt could not immediately\n"
       "disable (the paper reports up to 15%% under demanding\n"

@@ -6,50 +6,57 @@
 // fraction drops by at most 0.2%.
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.h"
 #include "repair/technician.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace corropt;
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
   bench::print_header("Section 7.3",
                       "Combined impact: CorrOpt (+80% repairs) vs current "
                       "practice (switch-local + 50% repairs), c = 75%");
 
+  const common::SimDuration duration = args.duration_or(90 * common::kDay);
+  const bench::Dcn dcns[] = {bench::Dcn::kMedium, bench::Dcn::kLarge};
+  std::vector<bench::ScenarioJob> jobs;
+  for (const bench::Dcn dcn : dcns) {
+    const char* dcn_tag = dcn == bench::Dcn::kMedium ? "medium" : "large";
+    jobs.push_back(bench::make_dcn_job(
+        std::string(dcn_tag) + "/current-practice", dcn,
+        core::CheckerMode::kSwitchLocal, 0.75, bench::kFaultsPerLinkPerDay,
+        duration, 101, 7, repair::kLegacyFirstAttemptSuccess));
+    jobs.push_back(bench::make_dcn_job(
+        std::string(dcn_tag) + "/corropt", dcn, core::CheckerMode::kCorrOpt,
+        0.75, bench::kFaultsPerLinkPerDay, duration, 101, 7,
+        repair::kCorrOptFirstAttemptSuccess));
+  }
+  const auto results = bench::ScenarioRunner(args.threads).run(jobs);
+
   std::printf("%12s %16s %16s %12s %14s %14s\n", "dcn", "current",
               "corropt", "ratio", "avg cap (cur)", "avg cap (new)");
-  for (const bench::Dcn dcn : {bench::Dcn::kMedium, bench::Dcn::kLarge}) {
-    const auto current = bench::run_scenario(
-        dcn, core::CheckerMode::kSwitchLocal, 0.75,
-        bench::kFaultsPerLinkPerDay, 90 * common::kDay, 101, 7,
-        repair::kLegacyFirstAttemptSuccess);
-    const auto corropt = bench::run_scenario(
-        dcn, core::CheckerMode::kCorrOpt, 0.75,
-        bench::kFaultsPerLinkPerDay, 90 * common::kDay, 101, 7,
-        repair::kCorrOptFirstAttemptSuccess);
+  for (std::size_t d = 0; d < 2; ++d) {
+    const auto& current = results[2 * d].metrics;
+    const auto& corropt = results[2 * d + 1].metrics;
     const double ratio =
-        current.metrics.integrated_penalty == 0.0
+        current.integrated_penalty == 0.0
             ? 1.0
-            : corropt.metrics.integrated_penalty /
-                  current.metrics.integrated_penalty;
-    std::printf("%12s %16.3e %16.3e %12.2e %13.3f%% %13.3f%%\n",
-                dcn == bench::Dcn::kMedium ? "medium" : "large",
-                current.metrics.integrated_penalty,
-                corropt.metrics.integrated_penalty, ratio,
-                current.metrics.mean_tor_fraction * 100.0,
-                corropt.metrics.mean_tor_fraction * 100.0);
-    std::printf("csv,sec73,%s,%.6e,%.6e,%.6e,%.6f,%.6f\n",
-                dcn == bench::Dcn::kMedium ? "medium" : "large",
-                current.metrics.integrated_penalty,
-                corropt.metrics.integrated_penalty, ratio,
-                current.metrics.mean_tor_fraction,
-                corropt.metrics.mean_tor_fraction);
+            : corropt.integrated_penalty / current.integrated_penalty;
+    const char* dcn_tag = d == 0 ? "medium" : "large";
+    std::printf("%12s %16.3e %16.3e %12.2e %13.3f%% %13.3f%%\n", dcn_tag,
+                current.integrated_penalty, corropt.integrated_penalty,
+                ratio, current.mean_tor_fraction * 100.0,
+                corropt.mean_tor_fraction * 100.0);
+    std::printf("csv,sec73,%s,%.6e,%.6e,%.6e,%.6f,%.6f\n", dcn_tag,
+                current.integrated_penalty, corropt.integrated_penalty,
+                ratio, current.mean_tor_fraction, corropt.mean_tor_fraction);
     std::printf(
         "             capacity cost of CorrOpt: %.3f%% of average ToR "
         "paths (paper: at most 0.2%%)\n",
-        (current.metrics.mean_tor_fraction -
-         corropt.metrics.mean_tor_fraction) *
-            100.0);
+        (current.mean_tor_fraction - corropt.mean_tor_fraction) * 100.0);
   }
+  bench::write_metrics_json(args.json_path("sec73"), "sec73",
+                            "bench_sec73_combined", args.threads, results);
   return 0;
 }

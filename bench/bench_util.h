@@ -6,11 +6,14 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/time.h"
+#include "scenario_runner.h"
 #include "sim/mitigation_sim.h"
 #include "topology/fat_tree.h"
 #include "trace/trace.h"
@@ -90,6 +93,82 @@ inline const char* mode_name(core::CheckerMode mode) {
       return "corropt";
   }
   return "?";
+}
+
+// Builds a ScenarioJob equivalent to run_scenario() with the same
+// parameters: identical topology, trace, and simulation seeds, so a bench
+// converted to the ScenarioRunner reproduces its sequential numbers
+// exactly.
+inline ScenarioJob make_dcn_job(std::string name, Dcn dcn,
+                                core::CheckerMode mode,
+                                double capacity_fraction,
+                                double faults_per_link_per_day,
+                                common::SimDuration duration,
+                                std::uint64_t trace_seed,
+                                std::uint64_t sim_seed,
+                                double first_attempt_success = 0.8) {
+  ScenarioJob job;
+  job.name = std::move(name);
+  job.tags = {{"dcn", dcn == Dcn::kMedium ? "medium" : "large"},
+              {"mode", mode_name(mode)},
+              {"constraint", std::to_string(capacity_fraction)}};
+  job.topology = [dcn] { return build_dcn(dcn); };
+  job.trace.faults_per_link_per_day = faults_per_link_per_day;
+  job.trace.duration = duration;
+  job.trace_seed = trace_seed;
+  job.config.mode = mode;
+  job.config.capacity_fraction = capacity_fraction;
+  job.config.duration = duration;
+  job.config.seed = sim_seed;
+  job.config.outcome.first_attempt_success = first_attempt_success;
+  return job;
+}
+
+// Flags shared by the converted sweep benches. BENCH_THREADS in the
+// environment seeds the default thread count; --threads overrides it.
+// --quick caps simulated durations (CI smoke runs), and --json-dir moves
+// the BENCH_<exhibit>.json output out of the working directory.
+struct BenchArgs {
+  std::size_t threads = configured_thread_count();
+  bool quick = false;
+  std::string json_dir = ".";
+
+  // Full sweep duration, or the --quick cap.
+  [[nodiscard]] common::SimDuration duration_or(
+      common::SimDuration full) const {
+    const common::SimDuration cap = 10 * common::kDay;
+    return quick && full > cap ? cap : full;
+  }
+
+  [[nodiscard]] std::string json_path(const std::string& exhibit) const {
+    return json_dir + "/BENCH_" + exhibit + ".json";
+  }
+};
+
+inline BenchArgs parse_bench_args(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      args.quick = true;
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      const long parsed = std::strtol(arg.c_str() + 10, nullptr, 10);
+      if (parsed > 0) args.threads = static_cast<std::size_t>(parsed);
+    } else if (arg.rfind("--json-dir=", 0) == 0) {
+      args.json_dir = arg.substr(11);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--threads=N] [--json-dir=DIR]\n"
+                   "  --quick       cap simulated duration at 10 days\n"
+                   "  --threads=N   worker threads (default: BENCH_THREADS "
+                   "env or hardware concurrency)\n"
+                   "  --json-dir=D  directory for BENCH_<exhibit>.json "
+                   "(default: .)\n",
+                   argv[0]);
+      std::exit(2);
+    }
+  }
+  return args;
 }
 
 }  // namespace corropt::bench

@@ -1,0 +1,155 @@
+#include "scenario_runner.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <stdexcept>
+#include <thread>
+
+#include "common/json.h"
+#include "common/rng.h"
+
+namespace corropt::bench {
+
+namespace {
+
+void write_time_series(common::JsonWriter& json, const char* name,
+                       const std::vector<sim::TimePoint>& series) {
+  std::vector<double> times, values;
+  times.reserve(series.size());
+  values.reserve(series.size());
+  for (const sim::TimePoint& p : series) {
+    times.push_back(static_cast<double>(p.time));
+    values.push_back(p.value);
+  }
+  json.key(name).begin_object();
+  json.member("time_s", times);
+  json.member("value", values);
+  json.end_object();
+}
+
+void write_metrics(common::JsonWriter& json,
+                   const sim::SimulationMetrics& metrics,
+                   const MetricsJsonOptions& options) {
+  json.key("metrics").begin_object();
+  json.member("integrated_penalty", metrics.integrated_penalty);
+  json.member("mean_tor_fraction", metrics.mean_tor_fraction);
+  json.member("faults_injected", metrics.faults_injected);
+  json.member("tickets_opened", metrics.tickets_opened);
+  json.member("repair_attempts", metrics.repair_attempts);
+  json.member("first_attempts", metrics.first_attempts);
+  json.member("first_attempt_successes", metrics.first_attempt_successes);
+  json.member("first_attempt_accuracy", metrics.first_attempt_accuracy());
+  json.member("redetections", metrics.redetections);
+  json.member("polled_detections", metrics.polled_detections);
+  json.member("mean_detection_latency_s", metrics.mean_detection_latency_s);
+  json.member("mean_ticket_resolution_s", metrics.mean_ticket_resolution_s);
+  json.member("maintenance_windows", metrics.maintenance_windows);
+  json.member("maintenance_capacity_violations",
+              metrics.maintenance_capacity_violations);
+  json.member("collateral_link_seconds", metrics.collateral_link_seconds);
+  json.member("undisabled_detections", metrics.undisabled_detections);
+  json.key("controller").begin_object();
+  json.member("corruption_reports", metrics.controller.corruption_reports);
+  json.member("disabled_on_arrival", metrics.controller.disabled_on_arrival);
+  json.member("disabled_on_activation",
+              metrics.controller.disabled_on_activation);
+  json.member("tickets_issued", metrics.controller.tickets_issued);
+  json.member("optimizer_runs", metrics.controller.optimizer_runs);
+  json.end_object();
+  if (options.include_hourly_penalty) {
+    json.member("hourly_penalty", metrics.hourly_penalty);
+  }
+  if (options.include_tor_series) {
+    write_time_series(json, "worst_tor_fraction", metrics.worst_tor_fraction);
+    write_time_series(json, "disabled_links", metrics.disabled_links);
+  }
+  json.end_object();
+}
+
+}  // namespace
+
+ScenarioRunner::ScenarioRunner(std::size_t threads) : pool_(threads) {}
+
+std::vector<ScenarioResult> ScenarioRunner::run(
+    const std::vector<ScenarioJob>& jobs) {
+  std::vector<ScenarioResult> results(jobs.size());
+  common::parallel_for_each(pool_, jobs.size(), [&jobs, &results](
+                                                    std::size_t i) {
+    results[i] = run_job(jobs[i]);
+  });
+  return results;
+}
+
+ScenarioResult run_job(const ScenarioJob& job) {
+  const auto start = std::chrono::steady_clock::now();
+  topology::Topology topo = job.topology();
+  common::Rng trace_rng(job.trace_seed);
+  const std::vector<trace::TraceEvent> events =
+      trace::CorruptionTraceGenerator(topo, job.trace, trace_rng).generate();
+  sim::MitigationSimulation sim(topo, job.config);
+  ScenarioResult result;
+  result.name = job.name;
+  result.tags = job.tags;
+  result.metrics = sim.run(events);
+  result.link_count = topo.link_count();
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t index) {
+  // One splitmix64 step over a golden-ratio stride; the same finalizer
+  // common::Rng uses for seeding, so nearby (base, index) pairs yield
+  // unrelated streams.
+  std::uint64_t z = base + 0x9e3779b97f4a7c15ULL * (index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::size_t configured_thread_count() {
+  if (const char* env = std::getenv("BENCH_THREADS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+void write_metrics_json(const std::string& path, const std::string& exhibit,
+                        const std::string& generator, std::size_t threads,
+                        const std::vector<ScenarioResult>& results,
+                        const MetricsJsonOptions& options) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot open " + path + " for writing");
+  }
+  common::JsonWriter json(out);
+  json.begin_object();
+  json.member("schema", "corropt-bench-metrics/1");
+  json.member("exhibit", exhibit);
+  json.member("generator", generator);
+  json.member("threads", threads);
+  json.key("scenarios").begin_array();
+  for (const ScenarioResult& result : results) {
+    json.begin_object();
+    json.member("name", result.name);
+    json.key("tags").begin_object();
+    for (const auto& [k, v] : result.tags) json.member(k, v);
+    json.end_object();
+    json.member("link_count", result.link_count);
+    json.member("wall_seconds", result.wall_seconds);
+    write_metrics(json, result.metrics, options);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  if (!out) {
+    throw std::runtime_error("write to " + path + " failed");
+  }
+  std::printf("wrote %s (%zu scenarios)\n", path.c_str(), results.size());
+}
+
+}  // namespace corropt::bench

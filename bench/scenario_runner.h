@@ -1,0 +1,110 @@
+// Parallel scenario sweeps with structured metrics output.
+//
+// A sweep bench describes each (topology, trace, config) scenario as a
+// ScenarioJob; the ScenarioRunner executes the jobs across a
+// common::ThreadPool and returns results in submission order. Every job
+// builds its own topology instance and derives all randomness from its
+// own seeds, so a sweep's metrics are bit-identical whether it runs on
+// one thread or sixteen — see DESIGN.md, "Determinism contract of the
+// scenario runner".
+//
+// Results additionally serialize to BENCH_<exhibit>.json (schema
+// documented in EXPERIMENTS.md) so plotting and regression tooling no
+// longer has to grep "csv," rows out of stdout.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "sim/mitigation_sim.h"
+#include "topology/topology.h"
+#include "trace/trace.h"
+
+namespace corropt::bench {
+
+struct ScenarioJob {
+  // Human-readable identifier, unique within a sweep.
+  std::string name;
+  // Machine-readable dimensions of this scenario (dcn, mode, constraint,
+  // ...); serialized into the JSON output for downstream grouping.
+  std::vector<std::pair<std::string, std::string>> tags;
+
+  // Builds a fresh topology. Called once per job, inside the worker —
+  // simulations mutate link state, so instances are never shared.
+  std::function<topology::Topology()> topology;
+
+  // Corruption-trace synthesis; `trace.duration` should match
+  // `config.duration` (the make_* helpers keep them in sync).
+  trace::TraceParams trace;
+  std::uint64_t trace_seed = 0;
+
+  // Simulation configuration, including the sim seed (`config.seed`).
+  sim::ScenarioConfig config;
+};
+
+struct ScenarioResult {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> tags;
+  sim::SimulationMetrics metrics;
+  std::size_t link_count = 0;
+  // Wall-clock of this job alone; the only non-deterministic field.
+  double wall_seconds = 0.0;
+};
+
+class ScenarioRunner {
+ public:
+  // Workers are spawned once and reused across run() calls.
+  explicit ScenarioRunner(std::size_t threads);
+
+  [[nodiscard]] std::size_t thread_count() const {
+    return pool_.thread_count();
+  }
+
+  // Runs all jobs and returns their results in job order. A job that
+  // throws aborts the sweep with that exception once every in-flight job
+  // has finished.
+  [[nodiscard]] std::vector<ScenarioResult> run(
+      const std::vector<ScenarioJob>& jobs);
+
+ private:
+  common::ThreadPool pool_;
+};
+
+// Runs one job synchronously on the calling thread (also used by the
+// runner's workers).
+[[nodiscard]] ScenarioResult run_job(const ScenarioJob& job);
+
+// Splitmix64-derived per-job seed stream: unrelated seeds for nearby
+// indices, stable across thread counts and reorderings. Sweeps that
+// enumerate many scenarios from one base seed should derive each job's
+// trace/sim seeds as derive_seed(base, job_index) rather than base + i.
+[[nodiscard]] std::uint64_t derive_seed(std::uint64_t base,
+                                        std::uint64_t index);
+
+// Number of worker threads a bench should use: the BENCH_THREADS
+// environment variable when set to a positive integer, otherwise
+// std::thread::hardware_concurrency() (at least 1).
+[[nodiscard]] std::size_t configured_thread_count();
+
+struct MetricsJsonOptions {
+  // Emit the one-hour penalty integral bins (Figure 18's raw input).
+  bool include_hourly_penalty = false;
+  // Emit the sampled worst-ToR path fraction and disabled-link series
+  // (Figures 15/16's raw input).
+  bool include_tor_series = false;
+};
+
+// Writes `results` to `path` as a corropt-bench-metrics/1 JSON document
+// (see EXPERIMENTS.md for the schema). `exhibit` is the short exhibit id
+// ("fig17"), `generator` the producing binary's name, `threads` the pool
+// size used. Throws std::runtime_error if the file cannot be written.
+void write_metrics_json(const std::string& path, const std::string& exhibit,
+                        const std::string& generator, std::size_t threads,
+                        const std::vector<ScenarioResult>& results,
+                        const MetricsJsonOptions& options = {});
+
+}  // namespace corropt::bench

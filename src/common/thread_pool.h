@@ -1,0 +1,86 @@
+// Fixed-size thread pool for embarrassingly parallel work.
+//
+// Scenario sweeps in bench/ run dozens of independent 90-day simulations;
+// a single shared queue guarded by one mutex is ample for tasks that each
+// run for seconds, so there is deliberately no work stealing. Results that
+// must be deterministic are written into caller-owned slots indexed by
+// task, never accumulated in completion order.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace corropt::common {
+
+class ThreadPool {
+ public:
+  // Spawns `threads` workers (clamped to at least one). A one-thread pool
+  // is valid and runs tasks in strict submission order, which the
+  // determinism tests rely on.
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
+
+  // Enqueues `fn` and returns a future for its result. Exceptions thrown
+  // by the task surface from future::get().
+  template <typename F>
+  [[nodiscard]] std::future<std::invoke_result_t<std::decay_t<F>>> submit(
+      F&& fn) {
+    using Result = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<Result()>>(
+        std::forward<F>(fn));
+    std::future<Result> result = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+// Runs fn(0) .. fn(count - 1) across the pool and blocks until all calls
+// return. Joins in index order, so the first throwing index's exception is
+// rethrown (later exceptions are swallowed after their tasks finish —
+// every task always runs to completion).
+template <typename F>
+void parallel_for_each(ThreadPool& pool, std::size_t count, F&& fn) {
+  std::vector<std::future<void>> pending;
+  pending.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    pending.push_back(pool.submit([&fn, i] { fn(i); }));
+  }
+  std::exception_ptr first_error;
+  for (std::future<void>& f : pending) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace corropt::common

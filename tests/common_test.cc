@@ -6,6 +6,7 @@
 
 #include "common/csv.h"
 #include "common/ids.h"
+#include "common/json.h"
 #include "common/rng.h"
 #include "common/time.h"
 
@@ -196,6 +197,73 @@ TEST(Csv, ParseEmptyFields) {
   const auto fields = parse_csv_row("a,,b");
   ASSERT_EQ(fields.size(), 3u);
   EXPECT_EQ(fields[1], "");
+}
+
+TEST(Json, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(json_escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(Json, NumbersRoundTripExactly) {
+  EXPECT_EQ(json_number(0.0), "0");
+  EXPECT_EQ(json_number(1.5), "1.5");
+  EXPECT_EQ(json_number(-3.0), "-3");
+  for (const double v : {0.1, 1.0 / 3.0, 1.23456789012345e-7, 6.02e23}) {
+    const std::string text = json_number(v);
+    EXPECT_EQ(std::stod(text), v) << text;
+  }
+  EXPECT_EQ(json_number(std::nan("")), "null");
+  EXPECT_EQ(json_number(INFINITY), "null");
+}
+
+TEST(Json, WritesNestedDocument) {
+  std::ostringstream out;
+  JsonWriter json(out);
+  json.begin_object();
+  json.member("name", "sweep");
+  json.member("count", std::int64_t{3});
+  json.member("ok", true);
+  json.key("nested").begin_object();
+  json.member("ratio", 0.5);
+  json.end_object();
+  json.key("items").begin_array();
+  json.value("a");
+  json.value(std::int64_t{2});
+  json.null();
+  json.end_array();
+  json.member("series", std::vector<double>{1.0, 2.5});
+  json.end_object();
+  EXPECT_EQ(out.str(),
+            "{\n"
+            "  \"name\": \"sweep\",\n"
+            "  \"count\": 3,\n"
+            "  \"ok\": true,\n"
+            "  \"nested\": {\n"
+            "    \"ratio\": 0.5\n"
+            "  },\n"
+            "  \"items\": [\n"
+            "    \"a\",\n"
+            "    2,\n"
+            "    null\n"
+            "  ],\n"
+            "  \"series\": [1, 2.5]\n"
+            "}\n");
+}
+
+TEST(Json, EmptyContainersStayCompact) {
+  std::ostringstream out;
+  JsonWriter json(out);
+  json.begin_object();
+  json.key("empty_object").begin_object().end_object();
+  json.key("empty_array").begin_array().end_array();
+  json.end_object();
+  EXPECT_EQ(out.str(),
+            "{\n"
+            "  \"empty_object\": {},\n"
+            "  \"empty_array\": []\n"
+            "}\n");
 }
 
 }  // namespace

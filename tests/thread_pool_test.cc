@@ -1,0 +1,128 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace corropt::common {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ReturnsTaskValuesThroughFutures) {
+  ThreadPool pool(3);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 20; ++i) {
+    futures.push_back(pool.submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolRunsTasksInSubmissionOrder) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 10; ++i) {
+    futures.push_back(pool.submit([&order, i] { order.push_back(i); }));
+  }
+  for (auto& f : futures) f.get();
+  std::vector<int> expected(10);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPoolTest, ZeroThreadRequestClampsToOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.thread_count(), 1u);
+  EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto future = pool.submit(
+      []() -> int { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+  // The pool survives a throwing task.
+  EXPECT_EQ(pool.submit([] { return 1; }).get(), 1);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      futures.push_back(pool.submit([&counter] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        ++counter;
+      }));
+    }
+  }  // ~ThreadPool joins after the queue drains
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, ConcurrentSubmissionFromManyThreads) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < 8; ++t) {
+    submitters.emplace_back([&pool, &counter] {
+      std::vector<std::future<void>> futures;
+      for (int i = 0; i < 25; ++i) {
+        futures.push_back(pool.submit([&counter] { ++counter; }));
+      }
+      for (auto& f : futures) f.get();
+    });
+  }
+  for (auto& t : submitters) t.join();
+  EXPECT_EQ(counter.load(), 8 * 25);
+}
+
+TEST(ParallelForEachTest, VisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<int> hits(997, 0);
+  parallel_for_each(pool, hits.size(),
+                    [&hits](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    ASSERT_EQ(hits[i], 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForEachTest, ZeroCountIsANoOp) {
+  ThreadPool pool(2);
+  parallel_for_each(pool, 0, [](std::size_t) { FAIL(); });
+}
+
+TEST(ParallelForEachTest, RethrowsFirstIndexExceptionAndFinishesTheRest) {
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  try {
+    parallel_for_each(pool, 64, [&completed](std::size_t i) {
+      if (i == 5 || i == 40) throw std::invalid_argument("boom");
+      ++completed;
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::invalid_argument&) {
+  }
+  // Every non-throwing index still ran: no task is cancelled.
+  EXPECT_EQ(completed.load(), 62);
+}
+
+}  // namespace
+}  // namespace corropt::common

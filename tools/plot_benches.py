@@ -1,36 +1,147 @@
 #!/usr/bin/env python3
-"""Plot the `csv,`-prefixed rows the bench binaries emit.
+"""Plot bench output: BENCH_*.json metrics files and/or `csv,` rows.
 
 Usage:
+    # Structured output (preferred): benches write BENCH_<exhibit>.json
+    for b in build/bench/bench_*; do $b --json-dir=out/; done
+    python3 tools/plot_benches.py out/ out/
+
+    # Legacy: grep-able csv rows on stdout
     for b in build/bench/bench_*; do $b; done > all_benches.txt
     python3 tools/plot_benches.py all_benches.txt out/
 
+Inputs may be any mix of BENCH_*.json files, directories containing them,
+and csv-row text captures; the last argument is the output directory.
 Produces one PNG per exhibit that has a natural plot (Figure 1, 2b, 3b,
-4, 14, 17, 18). Requires matplotlib; the benches themselves do not.
+4, 14, 15, 16, 17, 18). Requires matplotlib; the benches themselves do
+not. The JSON schema (corropt-bench-metrics/1) is documented in
+EXPERIMENTS.md.
 """
 
 import collections
+import glob
+import json
 import os
 import sys
 
 
-def parse(path):
-    rows = collections.defaultdict(list)
+def parse_csv_capture(path, rows):
     with open(path) as handle:
         for line in handle:
             if not line.startswith("csv,"):
                 continue
             parts = line.strip().split(",")
             rows[parts[1]].append(parts[2:])
+
+
+def load_metrics_json(path):
+    with open(path) as handle:
+        doc = json.load(handle)
+    if doc.get("schema") != "corropt-bench-metrics/1":
+        raise ValueError(f"{path}: unknown schema {doc.get('schema')!r}")
+    return doc
+
+
+def scenarios_by_tags(doc, *tag_keys):
+    """Groups a document's scenarios by the given tag values; within a
+    group, scenarios keep submission order (mode order is fixed per
+    bench)."""
+    groups = collections.defaultdict(list)
+    for scenario in doc["scenarios"]:
+        tags = scenario.get("tags", {})
+        groups[tuple(tags.get(k) for k in tag_keys)].append(scenario)
+    return groups
+
+
+def weekly_minima(series, week_s=7 * 24 * 3600.0):
+    minima, current, week_end = [], 1.0, week_s
+    for t, v in zip(series["time_s"], series["value"]):
+        if t >= week_end:
+            minima.append(current)
+            current, week_end = 1.0, week_end + week_s
+        current = min(current, v)
+    minima.append(current)
+    return minima
+
+
+def quantiles(values, fractions):
+    ordered = sorted(values)
+    out = []
+    for q in fractions:
+        index = min(int(q * len(ordered)), len(ordered) - 1)
+        out.append(ordered[index])
+    return out
+
+
+def absorb_json(doc, rows):
+    """Converts a metrics document into the same row shapes the csv
+    capture produces, so the plotting code below has one input format."""
+    exhibit = doc["exhibit"]
+    if exhibit == "fig17":
+        for (dcn, constraint), pair in scenarios_by_tags(
+                doc, "dcn", "constraint").items():
+            by_mode = {s["tags"]["mode"]: s["metrics"] for s in pair}
+            local = by_mode["switch-local"]["integrated_penalty"]
+            corropt = by_mode["corropt"]["integrated_penalty"]
+            ratio = (1.0 if local == 0.0 and corropt == 0.0
+                     else 1e9 if local == 0.0 else corropt / local)
+            rows["fig17"].append([dcn, constraint, repr(local),
+                                  repr(corropt), repr(ratio)])
+    elif exhibit == "fig18":
+        for (constraint,), pair in scenarios_by_tags(
+                doc, "constraint").items():
+            by_mode = {s["tags"]["mode"]: s["metrics"] for s in pair}
+            fast = by_mode["fast-checker"]["hourly_penalty"]
+            corropt = by_mode["corropt"]["hourly_penalty"]
+            ratios = []
+            for f, c in zip(fast, corropt):
+                if f <= 0.0:
+                    ratios.append(1.0)
+                else:
+                    ratios.append(min(c / f, 1.0))
+            fractions = [0.01, 0.02, 0.05, 0.07, 0.10, 0.25, 0.5, 0.9]
+            for q, r in zip(fractions, quantiles(ratios, fractions)):
+                rows["fig18"].append([constraint, repr(q), repr(r)])
+    elif exhibit == "fig15_16":
+        for (figure, dcn), pair in scenarios_by_tags(
+                doc, "figure", "dcn").items():
+            by_mode = {s["tags"]["mode"]: s["metrics"] for s in pair}
+            local = weekly_minima(by_mode["switch-local"]
+                                  ["worst_tor_fraction"])
+            corropt = weekly_minima(by_mode["corropt"]["worst_tor_fraction"])
+            for week, (sl, co) in enumerate(zip(local, corropt), start=1):
+                rows[f"fig{figure}"].append(
+                    [dcn, str(week), repr(sl), repr(co)])
+    # Other exhibits (sec73, sec51_tiers, ablation_penalty, ...) carry
+    # their full metrics in JSON but have no standard plot here yet.
+
+
+def gather(inputs):
+    rows = collections.defaultdict(list)
+    paths = []
+    for item in inputs:
+        if os.path.isdir(item):
+            found = sorted(glob.glob(os.path.join(item, "BENCH_*.json")))
+            if not found:
+                print(f"warning: no BENCH_*.json under {item}",
+                      file=sys.stderr)
+            paths.extend(found)
+        else:
+            paths.append(item)
+    for path in paths:
+        if path.endswith(".json"):
+            absorb_json(load_metrics_json(path), rows)
+        else:
+            parse_csv_capture(path, rows)
     return rows
 
 
 def main():
-    if len(sys.argv) != 3:
+    if len(sys.argv) < 3:
         print(__doc__)
         return 2
-    rows = parse(sys.argv[1])
-    outdir = sys.argv[2]
+    rows = gather(sys.argv[1:-1])
+    outdir = sys.argv[-1]
     os.makedirs(outdir, exist_ok=True)
 
     import matplotlib
@@ -103,6 +214,29 @@ def main():
             ax.legend()
             ax.set_title(f"Figure 14: total penalty over time ({dcn})")
             save(fig, f"fig14_{dcn}.png")
+
+    for key, limit in [("fig15", 0.75), ("fig16", 0.50)]:
+        if key not in rows:
+            continue
+        series = collections.defaultdict(lambda: ([], [], []))
+        for r in rows[key]:
+            dcn, week, sl, co = r[0], int(r[1]), float(r[2]), float(r[3])
+            series[dcn][0].append(week)
+            series[dcn][1].append(sl)
+            series[dcn][2].append(co)
+        fig, ax = plt.subplots()
+        for dcn, (weeks, sl, co) in series.items():
+            ax.plot(weeks, sl, "o-", label=f"switch-local ({dcn})")
+            ax.plot(weeks, co, "s-", label=f"CorrOpt ({dcn})")
+        ax.axhline(limit, linestyle="--", color="grey",
+                   label=f"constraint {limit:.0%}")
+        ax.set_xlabel("week")
+        ax.set_ylabel("worst ToR path fraction (weekly min)")
+        ax.set_ylim(0, 1.05)
+        ax.legend(fontsize=8)
+        number = "15" if key == "fig15" else "16"
+        ax.set_title(f"Figure {number}: worst ToR under c = {limit:.0%}")
+        save(fig, f"fig{number}.png")
 
     if "fig17" in rows:
         series = collections.defaultdict(lambda: ([], []))
