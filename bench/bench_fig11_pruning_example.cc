@@ -22,8 +22,8 @@ int main() {
   core::PathCounter counter(ex.topo);
 
   // Which ToRs would violate the constraint with all corrupting links off?
-  core::LinkMask all_off(ex.topo.link_count(), 0);
-  for (common::LinkId link : ex.corrupting) all_off[link.index()] = 1;
+  core::LinkMask all_off(ex.topo.link_count());
+  for (common::LinkId link : ex.corrupting) all_off.set(link.index());
   const auto counts = counter.up_paths(&all_off);
   const auto violated = counter.violated_tors(counts, constraint);
   std::printf("corrupting links: %zu; ToRs endangered if all disabled:",

@@ -85,8 +85,8 @@ int main() {
         corrupting.push_back(link);
       }
     }
-    core::LinkMask off(topo.link_count(), 0);
-    for (common::LinkId link : corrupting) off[link.index()] = 1;
+    core::LinkMask off(topo.link_count());
+    for (common::LinkId link : corrupting) off.set(link.index());
     const auto violated =
         counter.violated_tors(counter.up_paths(&off), constraint);
     const auto segments =

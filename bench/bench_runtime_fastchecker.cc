@@ -9,6 +9,7 @@
 
 #include "common/rng.h"
 #include "corropt/fast_checker.h"
+#include "gbench_json.h"
 #include "topology/fat_tree.h"
 
 namespace {
@@ -80,4 +81,7 @@ BENCHMARK(BM_PathCountSweep)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return corropt::bench::run_gbench_with_json(argc, argv,
+                                              "runtime_fastchecker");
+}

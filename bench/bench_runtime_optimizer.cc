@@ -8,6 +8,7 @@
 
 #include "common/rng.h"
 #include "corropt/optimizer.h"
+#include "gbench_json.h"
 #include "topology/fat_tree.h"
 
 namespace {
@@ -43,6 +44,7 @@ void BM_OptimizerRun(benchmark::State& state) {
     state.ResumeTiming();
     benchmark::DoNotOptimize(optimizer.run(corruption));
   }
+  state.counters["candidates"] = static_cast<double>(state.range(0));
 }
 BENCHMARK(BM_OptimizerRun)->Arg(10)->Arg(50)->Arg(100)->Arg(250)
     ->Unit(benchmark::kMillisecond);
@@ -65,10 +67,14 @@ void BM_OptimizerNoPruning(benchmark::State& state) {
     state.ResumeTiming();
     benchmark::DoNotOptimize(optimizer.run(corruption));
   }
+  state.counters["candidates"] = static_cast<double>(state.range(0));
 }
 BENCHMARK(BM_OptimizerNoPruning)->Arg(10)->Arg(50)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return corropt::bench::run_gbench_with_json(argc, argv,
+                                              "runtime_optimizer");
+}

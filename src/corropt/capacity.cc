@@ -14,7 +14,7 @@ void CapacityConstraint::set_tor_fraction(SwitchId tor, double fraction) {
   overrides_[tor] = fraction;
 }
 
-double CapacityConstraint::fraction(SwitchId tor) const {
+double CapacityConstraint::override_or_default(SwitchId tor) const {
   const auto it = overrides_.find(tor);
   return it == overrides_.end() ? default_fraction_ : it->second;
 }

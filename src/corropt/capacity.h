@@ -28,7 +28,10 @@ class CapacityConstraint {
   // Overrides the threshold for one ToR (hot racks get more headroom).
   void set_tor_fraction(SwitchId tor, double fraction);
 
-  [[nodiscard]] double fraction(SwitchId tor) const;
+  [[nodiscard]] double fraction(SwitchId tor) const {
+    if (overrides_.empty()) return default_fraction_;  // Hot path: no lookup.
+    return override_or_default(tor);
+  }
 
   // Minimum number of available paths the ToR must keep, given its design
   // path count: the smallest integer >= c * design (with a tolerance so
@@ -40,7 +43,18 @@ class CapacityConstraint {
     return static_cast<std::uint64_t>(std::ceil(required - 1e-9));
   }
 
+  // Equivalent to `available < min_paths(tor, design_paths)` without the
+  // ceil call (for an integer a and real x, a < ceil(x) iff a < x); used
+  // by the per-ToR hot loops in feasibility sweeps.
+  [[nodiscard]] bool below_min(SwitchId tor, std::uint64_t design_paths,
+                               std::uint64_t available) const {
+    return static_cast<double>(available) <
+           fraction(tor) * static_cast<double>(design_paths) - 1e-9;
+  }
+
  private:
+  [[nodiscard]] double override_or_default(SwitchId tor) const;
+
   double default_fraction_;
   std::unordered_map<SwitchId, double> overrides_;
 };

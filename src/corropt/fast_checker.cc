@@ -65,10 +65,10 @@ FastChecker::ClosureResult FastChecker::evaluate_closure(
     }
     new_counts[i] = total;
     result.updates.emplace_back(closure_[i], total);
-    if (sw.level == 0) {
-      const std::uint64_t required = constraint_->min_paths(
-          sw.id, paths_.design_paths()[sw.id.index()]);
-      if (total < required) result.feasible = false;
+    if (sw.level == 0 &&
+        constraint_->below_min(sw.id, paths_.design_paths()[sw.id.index()],
+                               total)) {
+      result.feasible = false;
     }
   }
 
@@ -89,9 +89,9 @@ bool FastChecker::can_disable(common::LinkId link) {
 bool FastChecker::can_disable(
     common::LinkId link, std::span<const common::LinkId> also_off) const {
   if (!topo_->is_enabled(link)) return true;
-  LinkMask off(topo_->link_count(), 0);
-  off[link.index()] = 1;
-  for (common::LinkId extra : also_off) off[extra.index()] = 1;
+  LinkMask off(topo_->link_count());
+  off.set(link.index());
+  for (common::LinkId extra : also_off) off.set(extra.index());
   const std::vector<std::uint64_t> counts = paths_.up_paths(&off);
   return paths_.feasible(counts, *constraint_);
 }

@@ -2,18 +2,97 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
+#include <utility>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace corropt::core {
 
-// Upstream closure of one segment's endangered ToRs, prepared for fast
-// repeated sweeps: switches ordered top level first so that each sweep is
-// a single pass.
-struct Optimizer::Region {
-  std::vector<SwitchId> sweep_order;
-  std::vector<SwitchId> tors;
+namespace {
+constexpr std::uint32_t kNoSlot = std::numeric_limits<std::uint32_t>::max();
+}  // namespace
+
+// Scratch for one segment solve. The segment's feasibility sweep is
+// "compiled" once per solve: only switches whose path counts a candidate
+// can change (an enabled uplink is a candidate, or leads to such a
+// switch) are swept per subset; contributions of everything else are
+// folded into per-switch baseline constants, and unaffected ToRs are
+// checked once against the baseline. Per-subset work is then a single
+// pass over flat edge arrays with zero allocation.
+struct OptimizerSegmentScratch {
+  struct Edge {
+    // Baseline count of an unaffected upper endpoint (0 when affected).
+    std::uint64_t base = 0;
+    // Dense slot of an affected upper endpoint, or kNoSlot.
+    std::uint32_t upper_slot = kNoSlot;
+    // Candidate index of the uplink, or -1 for non-candidate links.
+    std::int32_t cand = -1;
+  };
+
+  // Region discovery, indexed by switch.
+  std::vector<char> in_region;
+  std::vector<char> affected;
+  std::vector<std::uint64_t> baseline;
+  std::vector<std::uint32_t> slot_of;
+  std::vector<std::uint32_t> frontier;
+  // Candidate lookup, indexed by link.
+  std::vector<std::int32_t> cand_of;
+  // Compiled region: affected switches in level-descending order.
+  std::vector<std::uint32_t> order;       // switch index per slot
+  std::vector<std::uint32_t> edge_offset;  // slot count + 1 entries
+  std::vector<Edge> edges;
+  std::vector<std::uint64_t> const_base;  // fixed contribution per slot
+  std::vector<std::uint64_t> required;    // min paths per slot (0 off ToRs)
+  std::vector<std::uint64_t> counts;      // sweep output per slot
+  // Search state.
+  std::vector<double> link_penalty;
+  std::vector<char> full_selected;
+  std::vector<std::uint32_t> survivors;
+  std::vector<std::uint32_t> pos_bit;  // candidate -> survivor-position bit
+  std::vector<double> suffix;
+  std::vector<std::uint32_t> accept_cache;
+  std::vector<std::uint32_t> reject_cache;
 };
+
+struct OptimizerSegmentOutcome {
+  // selected[i] != 0 -> disable segment.links[i].
+  std::vector<char> selected;
+  double penalty = 0.0;
+  bool exact = true;
+  std::size_t subsets_evaluated = 0;
+  std::size_t cache_skips = 0;
+  std::size_t accept_skips = 0;
+  std::size_t bound_skips = 0;
+};
+
+namespace {
+
+// Feasibility of one subset over the compiled region. `selected(c)`
+// answers whether candidate index c is in the subset. Level-descending
+// slot order guarantees every affected upper is computed before it is
+// read; ToR slots carry their requirement, so infeasibility exits early.
+template <typename SelectedFn>
+bool region_feasible(OptimizerSegmentScratch& s, SelectedFn&& selected) {
+  const std::size_t slots = s.order.size();
+  for (std::size_t k = 0; k < slots; ++k) {
+    std::uint64_t total = s.const_base[k];
+    const std::uint32_t begin = s.edge_offset[k];
+    const std::uint32_t end = s.edge_offset[k + 1];
+    for (std::uint32_t e = begin; e < end; ++e) {
+      const OptimizerSegmentScratch::Edge& edge = s.edges[e];
+      if (edge.cand >= 0 && selected(edge.cand)) continue;
+      total += edge.upper_slot != kNoSlot ? s.counts[edge.upper_slot]
+                                          : edge.base;
+    }
+    if (total < s.required[k]) return false;
+    s.counts[k] = total;
+  }
+  return true;
+}
+
+}  // namespace
 
 Optimizer::Optimizer(topology::Topology& topo,
                      const CapacityConstraint& constraint,
@@ -22,195 +101,325 @@ Optimizer::Optimizer(topology::Topology& topo,
       constraint_(&constraint),
       penalty_(penalty),
       config_(config),
-      paths_(topo) {
+      paths_(topo),
+      scratch_(std::make_unique<OptimizerSegmentScratch>()) {
   scratch_paths_.resize(topo.switch_count(), 0);
-  scratch_off_.assign(topo.link_count(), 0);
+  scratch_mask_.assign(topo.link_count());
+  refresh_baseline();
 }
 
-bool Optimizer::region_feasible(const Region& region, const Segment& segment,
-                                const std::vector<char>& selected) {
-  // Mark selected candidates as off.
-  for (std::size_t i = 0; i < segment.links.size(); ++i) {
-    if (selected[i] != 0) scratch_off_[segment.links[i].index()] = 1;
-  }
+Optimizer::~Optimizer() = default;
 
-  const int top = topo_->top_level();
-  for (SwitchId id : region.sweep_order) {
-    const topology::Switch& sw = topo_->switch_at(id);
-    if (sw.level == top) {
-      scratch_paths_[id.index()] = 1;
-      continue;
-    }
-    std::uint64_t total = 0;
-    for (LinkId uplink : sw.uplinks) {
-      if (!topo_->is_enabled(uplink)) continue;
-      if (scratch_off_[uplink.index()] != 0) continue;
-      total += scratch_paths_[topo_->link_at(uplink).upper.index()];
-    }
-    scratch_paths_[id.index()] = total;
+void Optimizer::refresh_baseline() {
+  if (baseline_version_ == topo_->state_version() &&
+      !baseline_counts_.empty()) {
+    return;
   }
-
-  bool ok = true;
-  for (SwitchId tor : region.tors) {
-    const std::uint64_t required =
-        constraint_->min_paths(tor, paths_.design_paths()[tor.index()]);
-    if (scratch_paths_[tor.index()] < required) {
-      ok = false;
-      break;
-    }
-  }
-
-  for (std::size_t i = 0; i < segment.links.size(); ++i) {
-    if (selected[i] != 0) scratch_off_[segment.links[i].index()] = 0;
-  }
-  return ok;
+  paths_.up_paths_into(baseline_counts_);
+  baseline_violated_ = paths_.violated_tors(baseline_counts_, *constraint_);
+  baseline_version_ = topo_->state_version();
 }
 
-Optimizer::SegmentSolution Optimizer::solve_segment(
-    const Segment& segment, const CorruptionSet& corruption,
-    OptimizerResult& result) {
-  assert(!segment.links.empty());
-  const std::size_t n = segment.links.size();
+void Optimizer::compile_region(const Segment& segment,
+                               OptimizerSegmentScratch& s) const {
+  const std::size_t switches = topo_->switch_count();
+  s.in_region.assign(switches, 0);
+  s.affected.assign(switches, 0);
+  s.baseline.assign(switches, 0);
+  s.slot_of.assign(switches, kNoSlot);
+  s.cand_of.assign(topo_->link_count(), -1);
+  for (std::size_t i = 0; i < segment.links.size(); ++i) {
+    s.cand_of[segment.links[i].index()] = static_cast<std::int32_t>(i);
+  }
 
-  // Build the sweep region for this segment's ToRs.
-  Region region;
-  region.tors = segment.tors;
-  {
-    std::vector<char> visited(topo_->switch_count(), 0);
-    std::vector<SwitchId> frontier(segment.tors.begin(), segment.tors.end());
-    for (SwitchId id : frontier) visited[id.index()] = 1;
-    std::vector<SwitchId> members = frontier;
-    while (!frontier.empty()) {
-      const SwitchId current = frontier.back();
-      frontier.pop_back();
-      for (LinkId uplink : topo_->switch_at(current).uplinks) {
-        const SwitchId upper = topo_->link_at(uplink).upper;
-        if (!visited[upper.index()]) {
-          visited[upper.index()] = 1;
-          frontier.push_back(upper);
-          members.push_back(upper);
-        }
+  // Upstream closure of the segment's ToRs over *installed* links: a
+  // disabled link upstream of an endangered ToR still belongs to the
+  // region, since re-enabling decisions may involve it.
+  s.frontier.clear();
+  for (SwitchId tor : segment.tors) {
+    if (!s.in_region[tor.index()]) {
+      s.in_region[tor.index()] = 1;
+      s.frontier.push_back(static_cast<std::uint32_t>(tor.index()));
+    }
+  }
+  while (!s.frontier.empty()) {
+    const std::uint32_t current = s.frontier.back();
+    s.frontier.pop_back();
+    const PathCounter::UplinkSpan span = paths_.uplinks_of(current);
+    for (std::size_t u = 0; u < span.count; ++u) {
+      const std::uint32_t upper = span.upper[u];
+      if (!s.in_region[upper]) {
+        s.in_region[upper] = 1;
+        s.frontier.push_back(upper);
       }
     }
-    std::sort(members.begin(), members.end(),
-              [this](SwitchId a, SwitchId b) {
-                return topo_->switch_at(a).level > topo_->switch_at(b).level;
-              });
-    region.sweep_order = std::move(members);
   }
 
-  std::vector<double> link_penalty(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    link_penalty[i] = penalty_(corruption.rate(segment.links[i]));
+  // One level-descending pass computes baseline counts (current enabled
+  // state, no candidate removed), affectedness, and the compiled edges.
+  // The region is upward-closed, so every upper endpoint of a region
+  // switch was processed before the switch itself.
+  s.order.clear();
+  s.edge_offset.clear();
+  s.edges.clear();
+  s.const_base.clear();
+  s.required.clear();
+  const common::DynamicBitset& enabled = topo_->enabled_mask();
+  const std::span<const std::uint32_t> sweep = paths_.sweep_order();
+  const std::size_t top_count = paths_.top_switch_count();
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const std::uint32_t sw = sweep[i];
+    if (!s.in_region[sw]) continue;
+    if (i < top_count) {
+      s.baseline[sw] = 1;  // Top level: constant, never affected.
+      continue;
+    }
+    const PathCounter::UplinkSpan span = paths_.uplinks_of(sw);
+    std::uint64_t base_total = 0;
+    bool affected = false;
+    for (std::size_t u = 0; u < span.count; ++u) {
+      if (!enabled.test(span.link[u])) continue;
+      const std::uint32_t upper = span.upper[u];
+      base_total += s.baseline[upper];
+      if (s.cand_of[span.link[u]] >= 0 || s.affected[upper]) affected = true;
+    }
+    s.baseline[sw] = base_total;
+    if (!affected) continue;
+    s.affected[sw] = 1;
+    s.slot_of[sw] = static_cast<std::uint32_t>(s.order.size());
+    s.order.push_back(sw);
+    s.edge_offset.push_back(static_cast<std::uint32_t>(s.edges.size()));
+    std::uint64_t fixed = 0;
+    for (std::size_t u = 0; u < span.count; ++u) {
+      if (!enabled.test(span.link[u])) continue;
+      const std::uint32_t upper = span.upper[u];
+      const std::int32_t cand = s.cand_of[span.link[u]];
+      if (cand < 0 && !s.affected[upper]) {
+        fixed += s.baseline[upper];
+        continue;
+      }
+      OptimizerSegmentScratch::Edge edge;
+      edge.cand = cand;
+      if (s.affected[upper]) {
+        edge.upper_slot = s.slot_of[upper];
+      } else {
+        edge.base = s.baseline[upper];
+      }
+      s.edges.push_back(edge);
+    }
+    s.const_base.push_back(fixed);
+    const topology::Switch& info = topo_->switches()[sw];
+    s.required.push_back(
+        info.level == 0
+            ? constraint_->min_paths(info.id, paths_.design_paths()[sw])
+            : 0);
   }
-  auto to_selected = [n](std::uint32_t mask) {
-    std::vector<char> selected(n, 0);
-    for (std::size_t i = 0; i < n; ++i) {
-      if ((mask >> i) & 1u) selected[i] = 1;
-    }
-    return selected;
-  };
-  auto selected_penalty = [&](const std::vector<char>& selected) {
-    double total = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-      if (selected[i] != 0) total += link_penalty[i];
-    }
-    return total;
-  };
+  s.edge_offset.push_back(static_cast<std::uint32_t>(s.edges.size()));
+  s.counts.assign(s.order.size(), 0);
+}
+
+OptimizerSegmentOutcome Optimizer::solve_segment(
+    const Segment& segment, const CorruptionSet& corruption,
+    OptimizerSegmentScratch& s) const {
+  assert(!segment.links.empty());
+  const std::size_t n = segment.links.size();
+  OptimizerSegmentOutcome out;
+  out.selected.assign(n, 0);
+
+  compile_region(segment, s);
+
+  // Disabling links never adds paths, so a ToR already below its
+  // requirement at baseline dooms every subset: return the empty
+  // solution without enumerating anything.
+  for (SwitchId tor : segment.tors) {
+    const std::uint64_t required =
+        constraint_->min_paths(tor, paths_.design_paths()[tor.index()]);
+    if (s.baseline[tor.index()] < required) return out;
+  }
+
+  s.link_penalty.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    s.link_penalty[i] = penalty_(corruption.rate(segment.links[i]));
+  }
 
   // Greedy fallback for over-budget segments (no bitmask: segments can
   // be arbitrarily wide here).
   if (n > config_.max_exact_segment || n >= 31) {
-    std::vector<std::size_t> order(n);
-    for (std::size_t i = 0; i < n; ++i) order[i] = i;
-    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-      return link_penalty[a] > link_penalty[b];
-    });
-    std::vector<char> selected(n, 0);
-    for (std::size_t i : order) {
-      selected[i] = 1;
-      ++result.subsets_evaluated;
-      if (!region_feasible(region, segment, selected)) selected[i] = 0;
+    std::vector<std::uint32_t> order(n);
+    for (std::uint32_t i = 0; i < n; ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                if (s.link_penalty[a] != s.link_penalty[b]) {
+                  return s.link_penalty[a] > s.link_penalty[b];
+                }
+                return a < b;
+              });
+    for (std::uint32_t i : order) {
+      out.selected[i] = 1;
+      ++out.subsets_evaluated;
+      if (!region_feasible(s, [&](std::int32_t c) {
+            return out.selected[c] != 0;
+          })) {
+        out.selected[i] = 0;
+      }
     }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (out.selected[i] != 0) out.penalty += s.link_penalty[i];
+    }
+    out.exact = false;
     CORROPT_LOG_WARNING << "optimizer: segment of " << n
                         << " links exceeded exact budget; greedy fallback";
-    return {selected, selected_penalty(selected), /*exact=*/false};
+    return out;
   }
 
   // Pre-filter: a candidate infeasible on its own can never be part of a
   // feasible subset (feasibility is monotone), so drop it outright.
-  std::vector<std::size_t> survivors;
-  SegmentSolution best;
-  best.selected.assign(n, 0);
+  double best_penalty = 0.0;
+  s.survivors.clear();
   for (std::size_t i = 0; i < n; ++i) {
     if (config_.prefilter_singletons) {
-      ++result.subsets_evaluated;
-      const std::vector<char> single =
-          to_selected(static_cast<std::uint32_t>(1u << i));
-      if (!region_feasible(region, segment, single)) continue;
-      if (link_penalty[i] > best.penalty) {
-        best = {single, link_penalty[i], true};
+      ++out.subsets_evaluated;
+      if (!region_feasible(s, [i](std::int32_t c) {
+            return static_cast<std::size_t>(c) == i;
+          })) {
+        continue;
+      }
+      if (s.link_penalty[i] > best_penalty) {
+        std::fill(out.selected.begin(), out.selected.end(), 0);
+        out.selected[i] = 1;
+        best_penalty = s.link_penalty[i];
       }
     }
-    survivors.push_back(i);
+    s.survivors.push_back(static_cast<std::uint32_t>(i));
   }
-  if (survivors.empty()) return best;
+  if (s.survivors.empty()) {
+    out.penalty = best_penalty;
+    return out;
+  }
 
   // Whole surviving set feasible? Most runs end here.
-  std::uint32_t full = 0;
-  for (std::size_t i : survivors) full |= 1u << i;
-  ++result.subsets_evaluated;
-  {
-    const std::vector<char> all = to_selected(full);
-    if (region_feasible(region, segment, all)) {
-      return {all, selected_penalty(all), true};
-    }
+  s.full_selected.assign(n, 0);
+  for (std::uint32_t i : s.survivors) s.full_selected[i] = 1;
+  ++out.subsets_evaluated;
+  if (region_feasible(s, [&](std::int32_t c) {
+        return s.full_selected[c] != 0;
+      })) {
+    out.selected = s.full_selected;
+    for (std::uint32_t i : s.survivors) out.penalty += s.link_penalty[i];
+    return out;
   }
 
-  // Exact enumeration over survivor subsets in increasing size with a
-  // reject cache of minimal infeasible subsets. Because sizes ascend,
-  // any infeasible subset that was not skipped is minimal. Masks fit in
-  // 32 bits: the exact path only runs for n <= min(max_exact_segment, 30).
-  std::vector<std::uint32_t> reject_cache;
-  const std::size_t m = survivors.size();
-  // Iterate subsets of the survivor index space via Gosper's hack.
-  for (std::size_t size = config_.prefilter_singletons ? 2 : 1; size < m;
-       ++size) {
-    std::uint32_t subset = (1u << size) - 1;
-    const std::uint32_t limit = 1u << m;
-    while (subset < limit) {
-      // Expand survivor-space subset into link-space mask.
-      std::uint32_t mask = 0;
-      for (std::size_t j = 0; j < m; ++j) {
-        if ((subset >> j) & 1u) mask |= 1u << survivors[j];
-      }
-      bool skipped = false;
-      if (config_.use_reject_cache) {
-        for (std::uint32_t rejected : reject_cache) {
-          if ((mask & rejected) == rejected) {
-            ++result.cache_skips;
-            skipped = true;
-            break;
-          }
+  // Branch-and-bound over survivor subsets: positions ordered by
+  // descending penalty (ties by candidate index) so the include-first
+  // DFS reaches high-value subsets early and the suffix-sum bound bites.
+  // Masks fit in 32 bits: this path only runs for n <= 30.
+  std::sort(s.survivors.begin(), s.survivors.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              if (s.link_penalty[a] != s.link_penalty[b]) {
+                return s.link_penalty[a] > s.link_penalty[b];
+              }
+              return a < b;
+            });
+  const std::size_t m = s.survivors.size();
+  s.pos_bit.assign(n, 0);
+  s.suffix.assign(m + 1, 0.0);
+  for (std::size_t j = m; j-- > 0;) {
+    s.pos_bit[s.survivors[j]] = 1u << j;
+    s.suffix[j] = s.suffix[j + 1] + s.link_penalty[s.survivors[j]];
+  }
+
+  s.accept_cache.clear();
+  s.reject_cache.clear();
+  if (config_.use_accept_cache && config_.prefilter_singletons) {
+    // Every survivor was just proven feasible alone.
+    for (std::size_t j = 0; j < m; ++j) s.accept_cache.push_back(1u << j);
+  }
+  if (config_.use_reject_cache) {
+    // The full survivor set was just swept infeasible.
+    s.reject_cache.push_back(
+        m >= 32 ? ~0u : (1u << m) - 1);
+  }
+
+  // Feasibility of one mask via the caches, sweeping only on a miss.
+  auto evaluate = [&](std::uint32_t mask) -> bool {
+    if (config_.use_accept_cache) {
+      for (std::uint32_t entry : s.accept_cache) {
+        if ((mask & ~entry) == 0) {
+          ++out.accept_skips;
+          return true;
         }
       }
-      if (!skipped) {
-        ++result.subsets_evaluated;
-        const std::vector<char> selected = to_selected(mask);
-        if (region_feasible(region, segment, selected)) {
-          const double p = selected_penalty(selected);
-          if (p > best.penalty) best = {selected, p, true};
-        } else if (config_.use_reject_cache) {
-          reject_cache.push_back(mask);
+    }
+    if (config_.use_reject_cache) {
+      for (std::uint32_t entry : s.reject_cache) {
+        if ((entry & ~mask) == 0) {
+          ++out.cache_skips;
+          return false;
         }
       }
-      // Gosper's hack: next subset of the same popcount.
-      const std::uint32_t c = subset & (~subset + 1);
-      const std::uint32_t r = subset + c;
-      subset = (((r ^ subset) >> 2) / c) | r;
+    }
+    ++out.subsets_evaluated;
+    const bool ok = region_feasible(s, [&](std::int32_t c) {
+      return (mask & s.pos_bit[c]) != 0;
+    });
+    if (ok) {
+      if (config_.use_accept_cache) s.accept_cache.push_back(mask);
+    } else if (config_.use_reject_cache) {
+      s.reject_cache.push_back(mask);
+    }
+    return ok;
+  };
+
+  std::uint32_t best_mask = 0;
+  bool best_from_dfs = false;
+  // `mask` is the committed prefix over positions [0, j); `feasible`
+  // tells whether it satisfies the region (always true when the reject
+  // side is on — infeasible prefixes are pruned by monotonicity; with it
+  // off, infeasible subtrees are descended and swept node by node, which
+  // is exactly the ablation's "no monotonicity exploitation" contract).
+  auto dfs = [&](auto&& self, std::size_t j, std::uint32_t mask, double pen,
+                 bool feasible) -> void {
+    if (feasible && pen > best_penalty) {
+      best_penalty = pen;
+      best_mask = mask;
+      best_from_dfs = true;
+    }
+    if (j == m) return;
+    if (config_.use_bound && pen + s.suffix[j] <= best_penalty) {
+      ++out.bound_skips;
+      return;
+    }
+    const std::uint32_t bit = 1u << j;
+    const double p = s.link_penalty[s.survivors[j]];
+    const bool child_ok = feasible ? evaluate(mask | bit) : false;
+    if (child_ok) {
+      self(self, j + 1, mask | bit, pen + p, true);
+    } else if (config_.use_reject_cache) {
+      // Monotone prune: every superset of an infeasible set is
+      // infeasible; the whole include-subtree dies here.
+      if (feasible) ++out.cache_skips;
+      // (!feasible is unreachable: infeasible prefixes are never
+      // descended when the reject side is on.)
+    } else {
+      if (!feasible) {
+        // Parent already infeasible, but without the reject side we may
+        // not assume monotonicity: sweep the child like any other.
+        evaluate(mask | bit);
+      }
+      self(self, j + 1, mask | bit, pen + p, false);
+    }
+    self(self, j + 1, mask, pen, feasible);
+  };
+  dfs(dfs, 0, 0u, 0.0, true);
+
+  if (best_from_dfs) {
+    std::fill(out.selected.begin(), out.selected.end(), 0);
+    for (std::size_t j = 0; j < m; ++j) {
+      if ((best_mask >> j) & 1u) out.selected[s.survivors[j]] = 1;
     }
   }
-  return best;
+  out.penalty = best_penalty;
+  return out;
 }
 
 OptimizerResult Optimizer::run(const CorruptionSet& corruption) {
@@ -226,27 +435,36 @@ OptimizerResult Optimizer::run(const CorruptionSet& corruption) {
   std::vector<SwitchId> endangered;
 
   if (config_.use_pruning) {
-    // Hypothetically disable everything and see which ToRs complain.
-    LinkMask all_off(topo_->link_count(), 0);
-    for (LinkId link : candidates) all_off[link.index()] = 1;
-    const std::vector<std::uint64_t> counts = paths_.up_paths(&all_off);
-    endangered = paths_.violated_tors(counts, *constraint_);
+    // Hypothetically disable everything and see which ToRs complain. The
+    // recount is incremental against cached unmasked counts: only the
+    // downward closure of the candidates can change.
+    refresh_baseline();
+    scratch_mask_.assign(topo_->link_count());
+    for (LinkId link : candidates) scratch_mask_.set(link.index());
+    paths_.masked_violated_tors_into(endangered, baseline_counts_,
+                                     baseline_violated_, scratch_mask_,
+                                     candidates, *constraint_, scratch_paths_,
+                                     sweep_scratch_);
     if (endangered.empty()) {
-      // The full set is feasible: disable everything.
+      // The full set is feasible: disable everything. Sum the penalty
+      // off the corruption entries directly (one map pass, no per-link
+      // lookups) before flipping the links.
+      for (const auto& [link, entry] : corruption.entries()) {
+        if (topo_->is_enabled(link)) {
+          result.disabled_penalty += penalty_(entry.rate);
+        }
+      }
       for (LinkId link : candidates) topo_->set_enabled(link, false);
       result.disabled = candidates;
-      for (LinkId link : candidates) {
-        result.disabled_penalty += penalty_(corruption.rate(link));
-      }
       result.remaining_penalty =
           corruption.total_active_penalty(*topo_, penalty_);
       return result;
     }
     // Links not upstream of any endangered ToR are safe.
-    const LinkMask upstream = paths_.upstream_links(endangered);
+    paths_.upstream_links_into(scratch_mask_, scratch_visited_, endangered);
     contested.clear();
     for (LinkId link : candidates) {
-      if (upstream[link.index()] != 0) {
+      if (scratch_mask_.test(link.index())) {
         contested.push_back(link);
       } else {
         to_disable.push_back(link);
@@ -272,14 +490,37 @@ OptimizerResult Optimizer::run(const CorruptionSet& corruption) {
   // contribution to path counts is reflected in feasibility sweeps.
   for (LinkId link : to_disable) topo_->set_enabled(link, false);
 
-  for (const Segment& segment : segments) {
-    const SegmentSolution solution =
-        solve_segment(segment, corruption, result);
-    result.exact = result.exact && solution.exact;
-    for (std::size_t i = 0; i < segment.links.size(); ++i) {
-      if (solution.selected[i] != 0) {
-        topo_->set_enabled(segment.links[i], false);
-        to_disable.push_back(segment.links[i]);
+  // Solve segments against the shared pre-segment state; candidates of
+  // one segment never enter another segment's sweep region (segmentation
+  // would have merged them), so deferring the set_enabled calls keeps
+  // this bit-identical to the serial schedule for any thread count.
+  std::vector<OptimizerSegmentOutcome> outcomes(segments.size());
+  const std::size_t workers = std::min(
+      std::max<std::size_t>(config_.solver_threads, 1), segments.size());
+  if (workers > 1) {
+    common::ThreadPool pool(workers);
+    common::parallel_for_each(pool, segments.size(), [&](std::size_t i) {
+      OptimizerSegmentScratch scratch;
+      outcomes[i] = solve_segment(segments[i], corruption, scratch);
+    });
+  } else {
+    for (std::size_t i = 0; i < segments.size(); ++i) {
+      outcomes[i] = solve_segment(segments[i], corruption, *scratch_);
+    }
+  }
+
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    const Segment& segment = segments[i];
+    const OptimizerSegmentOutcome& outcome = outcomes[i];
+    result.exact = result.exact && outcome.exact;
+    result.subsets_evaluated += outcome.subsets_evaluated;
+    result.cache_skips += outcome.cache_skips;
+    result.accept_skips += outcome.accept_skips;
+    result.bound_skips += outcome.bound_skips;
+    for (std::size_t k = 0; k < segment.links.size(); ++k) {
+      if (outcome.selected[k] != 0) {
+        topo_->set_enabled(segment.links[k], false);
+        to_disable.push_back(segment.links[k]);
       }
     }
   }

@@ -3,7 +3,7 @@
 // When a repaired link is re-enabled, capacity frees up and previously
 // undisableable corrupting links may become disableable. The optimizer
 // solves the underlying NP-complete problem (Theorem 5.1) exactly on
-// practical instances via three reductions:
+// practical instances via a stack of reductions:
 //
 //   1. Pruning: treat all active corrupting links as disabled and find
 //      the ToRs V whose constraints would be violated. Every corrupting
@@ -12,9 +12,22 @@
 //      of enabled links).
 //   2. Segmentation (Section 8): the remaining candidates split into
 //      independent segments per the endangered ToRs they share.
-//   3. Exact subset search per segment with a reject cache: subsets are
-//      enumerated in increasing size; any superset of a known-infeasible
-//      subset is skipped without evaluation.
+//   3. Branch-and-bound per segment: candidates are ordered by descending
+//      penalty and searched depth-first, include-before-exclude, so the
+//      most valuable subsets are reached first. A suffix-sum upper bound
+//      prunes branches that cannot beat the incumbent; feasibility
+//      monotonicity is exploited both ways through a reject cache (any
+//      superset of a known-infeasible subset is infeasible) and an accept
+//      cache (any subset of a known-feasible subset is feasible).
+//      Feasibility sweeps are allocation-free and touch only the switches
+//      whose path counts the segment's candidates can actually change —
+//      everything else is folded into per-switch baseline constants.
+//
+// Independent segments can be solved concurrently (`solver_threads`):
+// a candidate of one segment is never inside another segment's sweep
+// region (it would have been merged by segmentation), so solving against
+// the shared pre-segment topology state and applying the chosen disables
+// serially afterward is bit-identical to the serial schedule.
 //
 // The result maximizes the total disabled penalty, i.e. minimizes the
 // residual penalty sum over links of (1 - d_l) * I(f_l), subject to every
@@ -22,8 +35,10 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "common/bitset.h"
 #include "common/ids.h"
 #include "corropt/capacity.h"
 #include "corropt/corruption_set.h"
@@ -43,9 +58,22 @@ struct OptimizerConfig {
   bool use_pruning = true;
   bool use_segmentation = true;
 
+  // Accept cache: subsets of a mask already proven feasible are feasible
+  // without a sweep (monotonicity in the other direction from the reject
+  // cache). Ablation switch; exactness is unaffected.
+  bool use_accept_cache = true;
+  // Suffix-sum upper-bound cutoff: branches whose remaining candidates
+  // cannot strictly beat the incumbent penalty are pruned. Ablation
+  // switch; exactness is unaffected.
+  bool use_bound = true;
+
   // Ablation switch for benchmarks: when false, singleton-infeasible
   // candidates are not pre-filtered before enumeration.
   bool prefilter_singletons = true;
+
+  // Worker threads for solving independent segments concurrently; 1 (or
+  // 0) solves serially. Results are bit-identical for any value.
+  std::size_t solver_threads = 1;
 };
 
 struct OptimizerResult {
@@ -60,49 +88,68 @@ struct OptimizerResult {
   // Diagnostics.
   std::size_t pruned_safe_disables = 0;
   std::size_t segments = 0;
+  // Subsets whose feasibility was established by an actual region sweep.
   std::size_t subsets_evaluated = 0;
+  // Subsets (or whole subtrees, one count per pruning event) skipped via
+  // infeasibility monotonicity: reject-cache hits plus branch prunes
+  // under a subset just swept infeasible.
   std::size_t cache_skips = 0;
+  // Subsets proven feasible by the accept cache without a sweep.
+  std::size_t accept_skips = 0;
+  // Branches cut by the penalty upper-bound test.
+  std::size_t bound_skips = 0;
 };
+
+// Per-solve scratch and the compiled sweep region; defined in the .cc.
+// Each concurrent segment solver owns one, so no state is shared.
+struct OptimizerSegmentScratch;
+struct OptimizerSegmentOutcome;
 
 class Optimizer {
  public:
   Optimizer(topology::Topology& topo, const CapacityConstraint& constraint,
             PenaltyFunction penalty, OptimizerConfig config = {});
+  ~Optimizer();
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
 
   // Globally optimizes over the active corrupting links, disabling the
   // optimal subset. Call whenever a link is (re-)enabled.
   OptimizerResult run(const CorruptionSet& corruption);
 
  private:
-  struct SegmentSolution {
-    // selected[i] != 0 -> disable segment.links[i].
-    std::vector<char> selected;
-    double penalty = 0.0;
-    bool exact = true;
-  };
+  // Exact branch-and-bound (or greedy, over-budget) search within one
+  // segment. Pure with respect to `topo_`: reads link state, never
+  // writes, so segments may be solved concurrently.
+  OptimizerSegmentOutcome solve_segment(const Segment& segment,
+                                        const CorruptionSet& corruption,
+                                        OptimizerSegmentScratch& scratch) const;
 
-  // Exact (or greedy, over-budget) search within one segment. Updates
-  // result diagnostics.
-  SegmentSolution solve_segment(const Segment& segment,
-                                const CorruptionSet& corruption,
-                                OptimizerResult& result);
-
-  // Feasibility of disabling the selected subset of segment.links for
-  // the segment's ToRs, via a sweep restricted to the ToRs' upstream
-  // closure.
-  struct Region;
-  [[nodiscard]] bool region_feasible(const Region& region,
-                                     const Segment& segment,
-                                     const std::vector<char>& selected);
+  // Builds the affected-switch sweep region of one segment into scratch.
+  void compile_region(const Segment& segment,
+                      OptimizerSegmentScratch& scratch) const;
 
   topology::Topology* topo_;
   const CapacityConstraint* constraint_;
   PenaltyFunction penalty_;
   OptimizerConfig config_;
   PathCounter paths_;
-  // Scratch reused across feasibility sweeps.
+  // Scratch reused across runs (serial phases only).
   std::vector<std::uint64_t> scratch_paths_;
-  std::vector<char> scratch_off_;
+  common::DynamicBitset scratch_mask_;
+  std::vector<char> scratch_visited_;
+  std::unique_ptr<OptimizerSegmentScratch> scratch_;
+  // Unmasked path counts (and the ToRs they violate, normally none) for
+  // the current enabled state, keyed by the topology's state version;
+  // lets the pruning pass recount only the downward closure of the
+  // candidate links instead of the whole fabric.
+  std::vector<std::uint64_t> baseline_counts_;
+  std::vector<SwitchId> baseline_violated_;
+  std::uint64_t baseline_version_ = 0;
+  PathCounter::SweepScratch sweep_scratch_;
+
+  void refresh_baseline();
 };
 
 }  // namespace corropt::core

@@ -39,11 +39,13 @@ std::vector<Segment> segment_candidates(
   UnionFind uf(links.size());
   // tor_members[t] = candidate indices upstream of endangered ToR t.
   std::vector<std::vector<std::size_t>> tor_members(endangered_tors.size());
+  LinkMask upstream;
+  std::vector<char> visited;
   for (std::size_t t = 0; t < endangered_tors.size(); ++t) {
     const SwitchId tor = endangered_tors[t];
-    const LinkMask upstream = paths.upstream_links({&tor, 1});
+    paths.upstream_links_into(upstream, visited, {&tor, 1});
     for (std::size_t i = 0; i < links.size(); ++i) {
-      if (upstream[links[i].index()] != 0) tor_members[t].push_back(i);
+      if (upstream.test(links[i].index())) tor_members[t].push_back(i);
     }
     for (std::size_t i = 1; i < tor_members[t].size(); ++i) {
       uf.unite(tor_members[t][0], tor_members[t][i]);

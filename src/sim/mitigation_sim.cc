@@ -37,6 +37,7 @@ MitigationSimulation::MitigationSimulation(topology::Topology& topo,
       detector_(topo, config.detector) {
   attempts_.assign(topo.link_count(), 0);
   reseated_.assign(topo.link_count(), 0);
+  link_mark_.assign(topo.link_count(), 0);
   for (const auto& [tor, fraction] : config_.tor_overrides) {
     controller_.mutable_constraint().set_tor_fraction(tor, fraction);
     constraint_.set_tor_fraction(tor, fraction);
@@ -48,15 +49,18 @@ double MitigationSimulation::true_penalty_rate() const {
   // fault onset, whether or not the controller knows yet.
   const core::PenaltyFunction penalty = core::PenaltyFunction::linear();
   double total = 0.0;
-  std::vector<common::LinkId> seen;
   for (const faults::Fault* fault : injector_.active_faults()) {
     for (common::LinkId link : fault->links) {
+      char& mark = link_mark_[link.index()];
+      if (mark != 0) continue;
+      mark = 1;
       if (!topo_->is_enabled(link)) continue;
-      if (std::find(seen.begin(), seen.end(), link) != seen.end()) continue;
-      seen.push_back(link);
       const double rate = state_.link_corruption_rate(link);
       if (rate >= core::kLossyThreshold) total += penalty(rate);
     }
+  }
+  for (const faults::Fault* fault : injector_.active_faults()) {
+    for (common::LinkId link : fault->links) link_mark_[link.index()] = 0;
   }
   return total;
 }
@@ -65,11 +69,11 @@ void MitigationSimulation::run_poll_cycle(SimulationMetrics& metrics) {
   // Suspect set: links with an active fault, plus links the pipeline or
   // controller still believes corrupting (to observe their recovery).
   std::vector<common::LinkId> suspects;
-  auto add = [&suspects](common::LinkId link) {
-    if (std::find(suspects.begin(), suspects.end(), link) ==
-        suspects.end()) {
-      suspects.push_back(link);
-    }
+  auto add = [this, &suspects](common::LinkId link) {
+    char& mark = link_mark_[link.index()];
+    if (mark != 0) return;
+    mark = 1;
+    suspects.push_back(link);
   };
   for (const faults::Fault* fault : injector_.active_faults()) {
     for (common::LinkId link : fault->links) add(link);
@@ -78,6 +82,7 @@ void MitigationSimulation::run_poll_cycle(SimulationMetrics& metrics) {
     add(link);
   }
   for (const auto& [link, onset] : pending_detection_) add(link);
+  for (common::LinkId link : suspects) link_mark_[link.index()] = 0;
 
   telemetry::DirectionLoad load;
   load.utilization = config_.poll_utilization;
@@ -274,12 +279,13 @@ void MitigationSimulation::handle_repair(const PendingRepair& repair,
   for (common::FaultId id : injector_.faults_on_link(repair.link)) {
     const faults::Fault* fault = injector_.fault(id);
     for (common::LinkId link : fault->links) {
-      if (std::find(affected.begin(), affected.end(), link) ==
-          affected.end()) {
-        affected.push_back(link);
-      }
+      char& mark = link_mark_[link.index()];
+      if (mark != 0) continue;
+      mark = 1;
+      affected.push_back(link);
     }
   }
+  for (common::LinkId link : affected) link_mark_[link.index()] = 0;
 
   const bool success = attempt_repair(repair);
   queue_.close(repair.ticket);

@@ -239,6 +239,11 @@ class MitigationSimulation {
   // Per-link flag: reseat attempted since last success (Algorithm 1's
   // repair-history input).
   std::vector<char> reseated_;
+  // Reusable per-link dedup flags for the fault-scan loops (suspect and
+  // affected sets, penalty accounting). Every user restores the bits it
+  // set, so the vector is all-zero between uses; mutable because the
+  // const penalty accounting borrows it as scratch.
+  mutable std::vector<char> link_mark_;
   // Healthy breakout siblings we took down for each link's maintenance.
   std::unordered_map<common::LinkId, std::vector<common::LinkId>>
       collateral_down_;

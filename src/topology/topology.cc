@@ -37,6 +37,7 @@ LinkId Topology::add_link(SwitchId lower, SwitchId upper) {
   link.lower = lower;
   link.upper = upper;
   links_.push_back(link);
+  enabled_mask_.push_back(true);
   switches_[lower.index()].uplinks.push_back(id);
   switches_[upper.index()].downlinks.push_back(id);
   ++enabled_links_;
@@ -87,6 +88,7 @@ void Topology::set_enabled(LinkId id, bool enabled) {
   Link& link = links_[id.index()];
   if (link.enabled == enabled) return;
   link.enabled = enabled;
+  enabled_mask_.set(id.index(), enabled);
   enabled_links_ += enabled ? 1 : -1;
   ++version_;
 }

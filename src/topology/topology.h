@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "common/bitset.h"
 #include "common/ids.h"
 
 namespace corropt::topology {
@@ -114,6 +115,11 @@ class Topology {
   // --- link state ----------------------------------------------------
   [[nodiscard]] bool is_enabled(LinkId id) const { return link_at(id).enabled; }
   void set_enabled(LinkId id, bool enabled);
+  // One bit per link, set iff enabled — kept in sync with the per-link
+  // flags so sweeps can test link state without touching the Link array.
+  [[nodiscard]] const common::DynamicBitset& enabled_mask() const {
+    return enabled_mask_;
+  }
   [[nodiscard]] std::size_t enabled_link_count() const {
     return enabled_links_;
   }
@@ -139,6 +145,7 @@ class Topology {
  private:
   std::vector<Switch> switches_;
   std::vector<Link> links_;
+  common::DynamicBitset enabled_mask_;
   std::vector<std::vector<SwitchId>> by_level_;
   int level_count_ = 0;
   std::size_t enabled_links_ = 0;

@@ -4,6 +4,7 @@
 #include <set>
 #include <sstream>
 
+#include "common/bitset.h"
 #include "common/csv.h"
 #include "common/ids.h"
 #include "common/json.h"
@@ -12,6 +13,89 @@
 
 namespace corropt::common {
 namespace {
+
+TEST(DynamicBitset, SetTestResetAcrossWordBoundaries) {
+  // Odd size spanning three words; exercise bits on both sides of each
+  // 64-bit boundary.
+  DynamicBitset bits(131);
+  EXPECT_EQ(bits.size(), 131u);
+  EXPECT_TRUE(bits.none());
+  for (const std::size_t i : {0u, 63u, 64u, 127u, 128u, 130u}) {
+    EXPECT_FALSE(bits.test(i));
+    bits.set(i);
+    EXPECT_TRUE(bits.test(i));
+  }
+  EXPECT_EQ(bits.popcount(), 6u);
+  bits.reset(64);
+  EXPECT_FALSE(bits.test(64));
+  EXPECT_TRUE(bits.test(63));
+  EXPECT_TRUE(bits.test(127));
+  EXPECT_EQ(bits.popcount(), 5u);
+  bits.set(64, true);
+  bits.set(63, false);
+  EXPECT_TRUE(bits.test(64));
+  EXPECT_FALSE(bits.test(63));
+  bits.reset();
+  EXPECT_TRUE(bits.none());
+  EXPECT_EQ(bits.size(), 131u);
+}
+
+TEST(DynamicBitset, PopcountFindFirstAndAny) {
+  DynamicBitset bits(200);
+  EXPECT_EQ(bits.find_first(), DynamicBitset::npos);
+  EXPECT_FALSE(bits.any());
+  bits.set(199);
+  EXPECT_TRUE(bits.any());
+  EXPECT_EQ(bits.find_first(), 199u);
+  bits.set(65);
+  EXPECT_EQ(bits.find_first(), 65u);
+  bits.set(3);
+  EXPECT_EQ(bits.find_first(), 3u);
+  EXPECT_EQ(bits.popcount(), 3u);
+}
+
+TEST(DynamicBitset, SubsetAndIntersection) {
+  // 70 bits: the subset test must consider both words, including the
+  // partial tail word.
+  DynamicBitset small(70);
+  DynamicBitset big(70);
+  small.set(5);
+  small.set(69);
+  big.set(5);
+  big.set(69);
+  big.set(64);
+  EXPECT_TRUE(small.is_subset_of(big));
+  EXPECT_FALSE(big.is_subset_of(small));
+  EXPECT_TRUE(small.is_subset_of(small));
+  EXPECT_TRUE(small.intersects(big));
+  small.set(66);  // Now small has a bit (word 1) that big lacks.
+  EXPECT_FALSE(small.is_subset_of(big));
+  DynamicBitset empty(70);
+  EXPECT_TRUE(empty.is_subset_of(small));
+  EXPECT_FALSE(empty.intersects(small));
+  const DynamicBitset cache[] = {big};
+  EXPECT_FALSE(any_subset_of(cache, small));  // small lacks big's bit 64.
+  small.set(64);
+  EXPECT_TRUE(any_subset_of(cache, small));  // big is a subset of small now.
+}
+
+TEST(DynamicBitset, PushBackAssignAndEquality) {
+  DynamicBitset bits;
+  EXPECT_TRUE(bits.empty());
+  for (std::size_t i = 0; i < 67; ++i) bits.push_back(i % 3 == 0);
+  EXPECT_EQ(bits.size(), 67u);
+  EXPECT_EQ(bits.popcount(), 23u);  // ceil(67 / 3)
+  EXPECT_TRUE(bits.test(66));
+  EXPECT_FALSE(bits.test(65));
+  DynamicBitset other(67);
+  for (std::size_t i = 0; i < 67; i += 3) other.set(i);
+  EXPECT_EQ(bits, other);
+  other.reset(66);
+  EXPECT_FALSE(bits == other);
+  bits.assign(5);
+  EXPECT_EQ(bits.size(), 5u);
+  EXPECT_TRUE(bits.none());
+}
 
 TEST(Ids, DefaultIsInvalid) {
   LinkId id;

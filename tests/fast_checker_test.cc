@@ -103,8 +103,8 @@ TEST_P(FastCheckerPropertyTest, NeverViolatesConstraint) {
     const common::LinkId link(static_cast<common::LinkId::underlying_type>(
         rng.uniform_index(topo.link_count())));
     // Independent prediction of feasibility via brute force.
-    LinkMask mask(topo.link_count(), 0);
-    mask[link.index()] = 1;
+    LinkMask mask(topo.link_count());
+    mask.set(link.index());
     bool expect_ok = true;
     for (common::SwitchId tor : topo.tors()) {
       const auto paths = count_paths_brute_force(topo, tor, &mask);

@@ -131,8 +131,8 @@ TEST(OptimizerDeep, WorksOnFourTierTopologies) {
   EXPECT_TRUE(counter.feasible(counter.up_paths(), constraint));
   // Maximality: nothing else can be disabled alone.
   for (common::LinkId link : corruption.active(topo)) {
-    LinkMask off(topo.link_count(), 0);
-    off[link.index()] = 1;
+    LinkMask off(topo.link_count());
+    off.set(link.index());
     EXPECT_FALSE(counter.feasible(counter.up_paths(&off), constraint))
         << "link " << link.value() << " was left enabled but is disableable";
   }

@@ -25,11 +25,11 @@ double brute_force_best_penalty(const topology::Topology& topo,
   const std::size_t n = candidates.size();
   double best = 0.0;
   for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
-    LinkMask off(topo.link_count(), 0);
+    LinkMask off(topo.link_count());
     double value = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
       if ((mask >> i) & 1u) {
-        off[candidates[i].index()] = 1;
+        off.set(candidates[i].index());
         value += penalty(corruption.rate(candidates[i]));
       }
     }
@@ -124,6 +124,8 @@ struct AblationCase {
   bool segmentation;
   bool reject_cache;
   bool prefilter;
+  bool accept_cache;
+  bool bound;
 };
 
 class OptimizerExactnessTest
@@ -140,6 +142,8 @@ TEST_P(OptimizerExactnessTest, MatchesBruteForce) {
       (variant & 2) != 0,
       (variant & 4) != 0,
       (variant & 8) != 0,
+      (variant & 16) != 0,
+      (variant & 32) != 0,
   };
   common::Rng rng(static_cast<std::uint64_t>(seed) * 131 + 7);
 
@@ -171,6 +175,8 @@ TEST_P(OptimizerExactnessTest, MatchesBruteForce) {
   config.use_segmentation = ablation.segmentation;
   config.use_reject_cache = ablation.reject_cache;
   config.prefilter_singletons = ablation.prefilter;
+  config.use_accept_cache = ablation.accept_cache;
+  config.use_bound = ablation.bound;
   Optimizer optimizer(topo, constraint, penalty, config);
   const OptimizerResult result = optimizer.run(corruption);
 
@@ -183,8 +189,8 @@ TEST_P(OptimizerExactnessTest, MatchesBruteForce) {
 
 INSTANTIATE_TEST_SUITE_P(RandomInstances, OptimizerExactnessTest,
                          ::testing::Combine(::testing::Range(0, 12),
-                                            ::testing::Values(0, 3, 7, 11,
-                                                              15)));
+                                            ::testing::Values(0, 3, 7, 11, 15,
+                                                              31, 47, 63)));
 
 TEST(Optimizer, RespectsExistingDisabledLinks) {
   // Links already disabled (awaiting repair) constrain what more can go.
@@ -265,6 +271,52 @@ TEST(Optimizer, SegmentationSplitsIndependentPods) {
   // In each pod only the worse link can be disabled (75% of 4 = 3 paths).
   EXPECT_EQ(result.disabled.size(), 2u);
   EXPECT_NEAR(result.remaining_penalty, 2e-4, 1e-12);
+}
+
+// One optimizer run on a multi-segment medium-DCN instance, capturing
+// the full result and the final enabled mask.
+OptimizerResult run_medium_instance(std::size_t solver_threads,
+                                    common::DynamicBitset& mask_out) {
+  topology::Topology topo = topology::build_medium_dcn();
+  common::Rng rng(909);
+  CorruptionSet corruption;
+  for (std::size_t index :
+       rng.sample_without_replacement(topo.link_count(), 120)) {
+    corruption.mark(
+        common::LinkId(static_cast<common::LinkId::underlying_type>(index)),
+        rng.log_uniform(1e-7, 1e-2));
+  }
+  CapacityConstraint constraint(0.875);
+  OptimizerConfig config;
+  config.solver_threads = solver_threads;
+  Optimizer optimizer(topo, constraint, PenaltyFunction::linear(), config);
+  const OptimizerResult result = optimizer.run(corruption);
+  mask_out = topo.enabled_mask();
+  return result;
+}
+
+TEST(Optimizer, ThreadCountDoesNotChangeResults) {
+  // Contract: solver_threads is a pure speed knob. Every result field —
+  // disable list order, penalties, and all search diagnostics — and the
+  // final link state must be bit-identical for any thread count.
+  common::DynamicBitset serial_mask;
+  const OptimizerResult serial = run_medium_instance(1, serial_mask);
+  EXPECT_GE(serial.segments, 2u);  // Otherwise the test exercises nothing.
+  for (const std::size_t threads : {2u, 8u}) {
+    common::DynamicBitset mask;
+    const OptimizerResult parallel = run_medium_instance(threads, mask);
+    EXPECT_EQ(parallel.disabled, serial.disabled) << threads << " threads";
+    EXPECT_EQ(parallel.disabled_penalty, serial.disabled_penalty);
+    EXPECT_EQ(parallel.remaining_penalty, serial.remaining_penalty);
+    EXPECT_EQ(parallel.exact, serial.exact);
+    EXPECT_EQ(parallel.pruned_safe_disables, serial.pruned_safe_disables);
+    EXPECT_EQ(parallel.segments, serial.segments);
+    EXPECT_EQ(parallel.subsets_evaluated, serial.subsets_evaluated);
+    EXPECT_EQ(parallel.cache_skips, serial.cache_skips);
+    EXPECT_EQ(parallel.accept_skips, serial.accept_skips);
+    EXPECT_EQ(parallel.bound_skips, serial.bound_skips);
+    EXPECT_EQ(mask, serial_mask) << threads << " threads";
+  }
 }
 
 }  // namespace

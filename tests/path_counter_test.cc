@@ -40,8 +40,8 @@ TEST(PathCounter, MaskActsLikeRemoval) {
   Topology topo = topology::build_fat_tree(4);
   PathCounter counter(topo);
   const common::SwitchId tor = topo.tors().front();
-  LinkMask mask(topo.link_count(), 0);
-  mask[topo.switch_at(tor).uplinks.front().index()] = 1;
+  LinkMask mask(topo.link_count());
+  mask.set(topo.switch_at(tor).uplinks.front().index());
   const auto masked = counter.up_paths(&mask);
   EXPECT_EQ(masked[tor.index()], 2u);
   // The mask must not mutate the topology.
@@ -69,9 +69,9 @@ TEST_P(PathCounterRandomTest, SweepMatchesBruteForce) {
                        false);
     }
   }
-  LinkMask mask(topo.link_count(), 0);
+  LinkMask mask(topo.link_count());
   for (std::size_t i = 0; i < topo.link_count(); ++i) {
-    mask[i] = rng.bernoulli(0.1) ? 1 : 0;
+    mask.set(i, rng.bernoulli(0.1));
   }
 
   PathCounter counter(topo);
@@ -90,6 +90,65 @@ TEST_P(PathCounterRandomTest, SweepMatchesBruteForce) {
 }
 
 INSTANTIATE_TEST_SUITE_P(RandomTopologies, PathCounterRandomTest,
+                         ::testing::Range(0, 25));
+
+class IncrementalSweepRandomTest : public ::testing::TestWithParam<int> {};
+
+// The incremental closure recount and the fused violated-ToR variant
+// must agree with a full masked sweep on random topologies, disabled
+// sets, and masks.
+TEST_P(IncrementalSweepRandomTest, MatchesFullMaskedSweep) {
+  common::Rng rng(static_cast<std::uint64_t>(GetParam()) * 977 + 13);
+  XgftSpec spec;
+  const int height = 2 + static_cast<int>(rng.uniform_index(2));
+  for (int i = 0; i < height; ++i) {
+    spec.children_per_node.push_back(
+        1 + static_cast<int>(rng.uniform_index(3)));
+    spec.parents_per_node.push_back(
+        1 + static_cast<int>(rng.uniform_index(3)));
+  }
+  Topology topo = topology::build_xgft(spec);
+  for (std::size_t i = 0; i < topo.link_count(); ++i) {
+    if (rng.bernoulli(0.15)) {
+      topo.set_enabled(common::LinkId(
+                           static_cast<common::LinkId::underlying_type>(i)),
+                       false);
+    }
+  }
+  LinkMask mask(topo.link_count());
+  std::vector<common::LinkId> masked_links;
+  for (std::size_t i = 0; i < topo.link_count(); ++i) {
+    if (rng.bernoulli(0.15)) {
+      mask.set(i);
+      masked_links.push_back(common::LinkId(
+          static_cast<common::LinkId::underlying_type>(i)));
+    }
+  }
+
+  PathCounter counter(topo);
+  const CapacityConstraint constraint(rng.uniform(0.4, 0.9));
+  const std::vector<std::uint64_t> baseline = counter.up_paths();
+  const std::vector<common::SwitchId> baseline_violated =
+      counter.violated_tors(baseline, constraint);
+  const std::vector<std::uint64_t> full = counter.up_paths(&mask);
+
+  PathCounter::SweepScratch scratch;
+  std::vector<std::uint64_t> incremental;
+  counter.up_paths_masked_from_baseline(incremental, baseline, mask,
+                                        masked_links, scratch);
+  EXPECT_EQ(incremental, full) << "seed " << GetParam();
+
+  std::vector<common::SwitchId> violated;
+  std::vector<std::uint64_t> counts;
+  counter.masked_violated_tors_into(violated, baseline, baseline_violated,
+                                    mask, masked_links, constraint, counts,
+                                    scratch);
+  EXPECT_EQ(violated, counter.violated_tors(full, constraint))
+      << "seed " << GetParam();
+  EXPECT_EQ(counts, full);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomTopologies, IncrementalSweepRandomTest,
                          ::testing::Range(0, 25));
 
 TEST(PathCounter, ViolatedTorsRespectConstraint) {
@@ -139,17 +198,15 @@ TEST(PathCounter, UpstreamLinksClosure) {
   const common::SwitchId tor = topo.tors().front();
   const LinkMask mask = counter.upstream_links({&tor, 1});
   // Closure: the ToR's 2 uplinks + its 2 aggs' 2 uplinks each = 6 links.
-  std::size_t count = 0;
-  for (char bit : mask) count += bit != 0;
-  EXPECT_EQ(count, 6u);
+  EXPECT_EQ(mask.popcount(), 6u);
   // Every uplink of the ToR is included.
   for (common::LinkId id : topo.switch_at(tor).uplinks) {
-    EXPECT_TRUE(mask[id.index()]);
+    EXPECT_TRUE(mask.test(id.index()));
   }
   // No downlink of another pod's ToR is included.
   const common::SwitchId other = topo.tors().back();
   for (common::LinkId id : topo.switch_at(other).uplinks) {
-    EXPECT_FALSE(mask[id.index()]);
+    EXPECT_FALSE(mask.test(id.index()));
   }
 }
 
@@ -160,7 +217,7 @@ TEST(PathCounter, UpstreamIncludesDisabledLinks) {
   topo.set_enabled(uplink, false);
   PathCounter counter(topo);
   const LinkMask mask = counter.upstream_links({&tor, 1});
-  EXPECT_TRUE(mask[uplink.index()])
+  EXPECT_TRUE(mask.test(uplink.index()))
       << "disabled links still belong to the pruned sub-topology";
 }
 

@@ -112,6 +112,19 @@ def absorb_json(doc, rows):
             for week, (sl, co) in enumerate(zip(local, corropt), start=1):
                 rows[f"fig{figure}"].append(
                     [dcn, str(week), repr(sl), repr(co)])
+    elif exhibit in ("runtime_optimizer", "runtime_fastchecker"):
+        # Scenarios are raw google-benchmark runs: "BM_Family/arg" names
+        # plus normalized millisecond timings and optional counters
+        # (candidates, links).
+        for scenario in doc["scenarios"]:
+            name = scenario["name"]
+            family, _, arg = name.partition("/")
+            metrics = scenario["metrics"]
+            rows[exhibit].append([
+                family, arg,
+                repr(metrics["real_time_ms"]),
+                repr(metrics.get("candidates", metrics.get("links", 0.0))),
+            ])
     # Other exhibits (sec73, sec51_tiers, ablation_penalty, ...) carry
     # their full metrics in JSON but have no standard plot here yet.
 
@@ -267,6 +280,48 @@ def main():
         ax.legend()
         ax.set_title("Figure 18: optimizer gain")
         save(fig, "fig18.png")
+
+    def runtime_series(key, x_index):
+        series = collections.defaultdict(lambda: ([], []))
+        for r in rows[key]:
+            family, x = r[0], float(r[x_index])
+            if x <= 0.0:
+                continue
+            series[family][0].append(x)
+            series[family][1].append(float(r[2]))
+        for xs, ys in series.values():
+            order = sorted(range(len(xs)), key=lambda i: xs[i])
+            xs[:], ys[:] = [xs[i] for i in order], [ys[i] for i in order]
+        return series
+
+    if "runtime_optimizer" in rows:
+        # x = candidate count (the candidates counter, or the /arg).
+        series = runtime_series("runtime_optimizer", 3)
+        fig, ax = plt.subplots()
+        for family, (xs, ys) in sorted(series.items()):
+            ax.plot(xs, ys, "o-", label=family)
+        ax.set_yscale("log")
+        ax.set_xlabel("active corrupting links (candidates)")
+        ax.set_ylabel("optimizer run time (ms)")
+        ax.legend()
+        ax.set_title("Optimizer runtime vs candidate count (Section 5.1)")
+        save(fig, "runtime_optimizer.png")
+
+    if "runtime_fastchecker" in rows:
+        # x = topology link count (the links counter); benches without it
+        # (the raw sweep, keyed by fat-tree k) are dropped here.
+        series = runtime_series("runtime_fastchecker", 3)
+        fig, ax = plt.subplots()
+        for family, (xs, ys) in sorted(series.items()):
+            style = "o-" if len(xs) > 1 else "D"
+            ax.plot(xs, ys, style, label=family)
+        ax.set_xscale("log")
+        ax.set_yscale("log")
+        ax.set_xlabel("topology links")
+        ax.set_ylabel("decision time (ms)")
+        ax.legend(fontsize=8)
+        ax.set_title("Fast-checker decision time vs topology size")
+        save(fig, "runtime_fastchecker.png")
 
     return 0
 
