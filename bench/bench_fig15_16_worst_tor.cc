@@ -41,6 +41,7 @@ int main(int argc, char** argv) {
       }
     }
   }
+  bench::set_collect_obs(jobs, args.obs);
   const auto results = bench::ScenarioRunner(args.threads).run(jobs);
 
   std::size_t job = 0;
@@ -87,5 +88,7 @@ int main(int argc, char** argv) {
   bench::write_metrics_json(args.json_path("fig15_16"), "fig15_16",
                             "bench_fig15_16_worst_tor", args.threads,
                             results, options);
+  bench::write_obs_outputs(args, "fig15_16", "bench_fig15_16_worst_tor",
+                           results);
   return 0;
 }

@@ -41,6 +41,7 @@ int main(int argc, char** argv) {
       }
     }
   }
+  bench::set_collect_obs(jobs, args.obs);
   const auto results = bench::ScenarioRunner(args.threads).run(jobs);
 
   std::printf("%12s %12s %16s %16s %12s %12s\n", "dcn", "constraint",
@@ -75,6 +76,8 @@ int main(int argc, char** argv) {
   bench::write_metrics_json(args.json_path("fig17"), "fig17",
                             "bench_fig17_constraint_sweep", args.threads,
                             results);
+  bench::write_obs_outputs(args, "fig17", "bench_fig17_constraint_sweep",
+                           results);
   std::printf(
       "\n'blocked' = corruption reports CorrOpt could not immediately\n"
       "disable (the paper reports up to 15%% under demanding\n"

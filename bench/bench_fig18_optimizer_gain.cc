@@ -39,6 +39,7 @@ int main(int argc, char** argv) {
           duration, /*trace_seed=*/202, /*sim_seed=*/7));
     }
   }
+  bench::set_collect_obs(jobs, args.obs);
   const auto results = bench::ScenarioRunner(args.threads).run(jobs);
 
   for (std::size_t c = 0; c < 2; ++c) {
@@ -84,6 +85,8 @@ int main(int argc, char** argv) {
   bench::write_metrics_json(args.json_path("fig18"), "fig18",
                             "bench_fig18_optimizer_gain", args.threads,
                             results, options);
+  bench::write_obs_outputs(args, "fig18", "bench_fig18_optimizer_gain",
+                           results);
   std::printf(
       "\npaper: no reduction for 90%% of the time; >=10x for ~7%% of the\n"
       "time. Our synthetic traces bind less often at 75%%, so the gain\n"

@@ -49,6 +49,34 @@ void BM_OptimizerRun(benchmark::State& state) {
 BENCHMARK(BM_OptimizerRun)->Arg(10)->Arg(50)->Arg(100)->Arg(250)
     ->Unit(benchmark::kMillisecond);
 
+// Same instance with an attached obs sink: quantifies the cost of the
+// sharded counters and the run timer (expected within noise of
+// BM_OptimizerRun — a handful of relaxed fetch_adds per run).
+void BM_OptimizerRunObs(benchmark::State& state) {
+  topology::Topology topo = topology::build_large_dcn();
+  common::Rng rng(3);
+  const core::CorruptionSet corruption =
+      random_corruption(topo, static_cast<int>(state.range(0)), rng);
+  core::CapacityConstraint constraint(0.75);
+  obs::MetricsRegistry registry;
+  obs::Sink sink{&registry, nullptr, nullptr, 0};
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (const auto& [link, rate] : corruption.entries()) {
+      topo.set_enabled(link, true);
+    }
+    core::Optimizer optimizer(topo, constraint,
+                              core::PenaltyFunction::linear());
+    optimizer.set_sink(&sink);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(optimizer.run(corruption));
+  }
+  state.counters["candidates"] = static_cast<double>(state.range(0));
+  state.counters["metric_runs"] = static_cast<double>(
+      registry.snapshot().counters.front().value);
+}
+BENCHMARK(BM_OptimizerRunObs)->Arg(250)->Unit(benchmark::kMillisecond);
+
 void BM_OptimizerNoPruning(benchmark::State& state) {
   topology::Topology topo = topology::build_medium_dcn();
   common::Rng rng(4);

@@ -32,6 +32,7 @@ int main(int argc, char** argv) {
         0.75, bench::kFaultsPerLinkPerDay, duration, 101, 7,
         repair::kCorrOptFirstAttemptSuccess));
   }
+  bench::set_collect_obs(jobs, args.obs);
   const auto results = bench::ScenarioRunner(args.threads).run(jobs);
 
   std::printf("%12s %16s %16s %12s %14s %14s\n", "dcn", "current",
@@ -58,5 +59,6 @@ int main(int argc, char** argv) {
   }
   bench::write_metrics_json(args.json_path("sec73"), "sec73",
                             "bench_sec73_combined", args.threads, results);
+  bench::write_obs_outputs(args, "sec73", "bench_sec73_combined", results);
   return 0;
 }

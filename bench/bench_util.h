@@ -126,11 +126,15 @@ inline ScenarioJob make_dcn_job(std::string name, Dcn dcn,
 
 // Flags shared by the converted sweep benches. BENCH_THREADS in the
 // environment seeds the default thread count; --threads overrides it.
-// --quick caps simulated durations (CI smoke runs), and --json-dir moves
-// the BENCH_<exhibit>.json output out of the working directory.
+// --quick caps simulated durations (CI smoke runs), --json-dir moves
+// the BENCH_<exhibit>.json output out of the working directory, and
+// --obs attaches a per-job obs sink and additionally writes
+// OBS_<exhibit>.jsonl (decision journal) and OBS_<exhibit>_metrics.json
+// (corropt-obs-metrics/1).
 struct BenchArgs {
   std::size_t threads = configured_thread_count();
   bool quick = false;
+  bool obs = false;
   std::string json_dir = ".";
 
   // Full sweep duration, or the --quick cap.
@@ -143,7 +147,32 @@ struct BenchArgs {
   [[nodiscard]] std::string json_path(const std::string& exhibit) const {
     return json_dir + "/BENCH_" + exhibit + ".json";
   }
+  [[nodiscard]] std::string obs_jsonl_path(const std::string& exhibit) const {
+    return json_dir + "/OBS_" + exhibit + ".jsonl";
+  }
+  [[nodiscard]] std::string obs_metrics_path(
+      const std::string& exhibit) const {
+    return json_dir + "/OBS_" + exhibit + "_metrics.json";
+  }
 };
+
+// Writes the OBS_<exhibit> journal + metrics files when --obs was given;
+// call after the sweep with the same results passed to
+// write_metrics_json. Jobs must have been built with collect_obs set
+// (see set_collect_obs).
+inline void write_obs_outputs(const BenchArgs& args,
+                              const std::string& exhibit,
+                              const std::string& generator,
+                              const std::vector<ScenarioResult>& results) {
+  if (!args.obs) return;
+  write_obs_jsonl(args.obs_jsonl_path(exhibit), results);
+  write_obs_metrics_json(args.obs_metrics_path(exhibit), exhibit, generator,
+                         args.threads, results);
+}
+
+inline void set_collect_obs(std::vector<ScenarioJob>& jobs, bool collect) {
+  for (ScenarioJob& job : jobs) job.collect_obs = collect;
+}
 
 inline BenchArgs parse_bench_args(int argc, char** argv) {
   BenchArgs args;
@@ -151,6 +180,8 @@ inline BenchArgs parse_bench_args(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--quick") {
       args.quick = true;
+    } else if (arg == "--obs") {
+      args.obs = true;
     } else if (arg.rfind("--threads=", 0) == 0) {
       const long parsed = std::strtol(arg.c_str() + 10, nullptr, 10);
       if (parsed > 0) args.threads = static_cast<std::size_t>(parsed);
@@ -158,8 +189,11 @@ inline BenchArgs parse_bench_args(int argc, char** argv) {
       args.json_dir = arg.substr(11);
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--quick] [--threads=N] [--json-dir=DIR]\n"
+                   "usage: %s [--quick] [--obs] [--threads=N] "
+                   "[--json-dir=DIR]\n"
                    "  --quick       cap simulated duration at 10 days\n"
+                   "  --obs         collect per-job metrics + decision "
+                   "journal (OBS_<exhibit>*.{jsonl,json})\n"
                    "  --threads=N   worker threads (default: BENCH_THREADS "
                    "env or hardware concurrency)\n"
                    "  --json-dir=D  directory for BENCH_<exhibit>.json "

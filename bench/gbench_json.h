@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/json.h"
+#include "scenario_runner.h"
 
 namespace corropt::bench {
 
@@ -86,11 +87,8 @@ inline int run_gbench_with_json(int argc, char** argv, const char* exhibit) {
   const std::string path = json_dir + "/BENCH_" + exhibit + ".json";
   std::ofstream out(path);
   common::JsonWriter json(out);
-  json.begin_object();
-  json.member("schema", "corropt-bench-metrics/1");
-  json.member("exhibit", exhibit);
-  json.member("generator", std::string("bench_") + exhibit);
-  json.key("scenarios").begin_array();
+  open_metrics_document(json, "corropt-bench-metrics/1", exhibit,
+                        std::string("bench_") + exhibit);
   for (const GBenchRun& run : reporter.runs()) {
     json.begin_object();
     json.member("name", run.name);
@@ -104,8 +102,7 @@ inline int run_gbench_with_json(int argc, char** argv, const char* exhibit) {
     json.end_object();
     json.end_object();
   }
-  json.end_array();
-  json.end_object();
+  close_metrics_document(json);
   std::printf("wrote %s (%zu benchmarks)\n", path.c_str(),
               reporter.runs().size());
   return 0;

@@ -87,12 +87,28 @@ ScenarioResult run_job(const ScenarioJob& job) {
   common::Rng trace_rng(job.trace_seed);
   const std::vector<trace::TraceEvent> events =
       trace::CorruptionTraceGenerator(topo, job.trace, trace_rng).generate();
-  sim::MitigationSimulation sim(topo, job.config);
+
+  // Job-local observability: nothing is shared across workers, so the
+  // folded snapshot/journal are bit-identical for any pool size.
+  obs::MetricsRegistry registry;
+  obs::EventJournal journal;
+  obs::Sink sink{&registry, &journal, nullptr, 0};
+  sim::ScenarioConfig config = job.config;
+  const bool collect = job.collect_obs && config.sink == nullptr;
+  if (collect) config.sink = &sink;
+
+  sim::MitigationSimulation sim(topo, config);
   ScenarioResult result;
   result.name = job.name;
   result.tags = job.tags;
   result.metrics = sim.run(events);
   result.link_count = topo.link_count();
+  if (collect) {
+    result.has_obs = true;
+    result.obs_metrics = registry.snapshot();
+    result.journal = journal.snapshot();
+    result.journal_dropped = journal.dropped();
+  }
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
@@ -118,6 +134,23 @@ std::size_t configured_thread_count() {
   return hw > 0 ? hw : 1;
 }
 
+void open_metrics_document(common::JsonWriter& json, const std::string& schema,
+                           const std::string& exhibit,
+                           const std::string& generator,
+                           std::size_t threads) {
+  json.begin_object();
+  json.member("schema", schema);
+  json.member("exhibit", exhibit);
+  json.member("generator", generator);
+  if (threads > 0) json.member("threads", threads);
+  json.key("scenarios").begin_array();
+}
+
+void close_metrics_document(common::JsonWriter& json) {
+  json.end_array();
+  json.end_object();
+}
+
 void write_metrics_json(const std::string& path, const std::string& exhibit,
                         const std::string& generator, std::size_t threads,
                         const std::vector<ScenarioResult>& results,
@@ -127,12 +160,8 @@ void write_metrics_json(const std::string& path, const std::string& exhibit,
     throw std::runtime_error("cannot open " + path + " for writing");
   }
   common::JsonWriter json(out);
-  json.begin_object();
-  json.member("schema", "corropt-bench-metrics/1");
-  json.member("exhibit", exhibit);
-  json.member("generator", generator);
-  json.member("threads", threads);
-  json.key("scenarios").begin_array();
+  open_metrics_document(json, "corropt-bench-metrics/1", exhibit, generator,
+                        threads);
   for (const ScenarioResult& result : results) {
     json.begin_object();
     json.member("name", result.name);
@@ -144,12 +173,62 @@ void write_metrics_json(const std::string& path, const std::string& exhibit,
     write_metrics(json, result.metrics, options);
     json.end_object();
   }
-  json.end_array();
-  json.end_object();
+  close_metrics_document(json);
   if (!out) {
     throw std::runtime_error("write to " + path + " failed");
   }
   std::printf("wrote %s (%zu scenarios)\n", path.c_str(), results.size());
+}
+
+void write_obs_jsonl(const std::string& path,
+                     const std::vector<ScenarioResult>& results) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot open " + path + " for writing");
+  }
+  std::size_t events = 0;
+  for (const ScenarioResult& result : results) {
+    if (!result.has_obs) continue;
+    for (const obs::Event& event : result.journal) {
+      obs::write_event_jsonl(out, event, result.name);
+      out << '\n';
+    }
+    events += result.journal.size();
+  }
+  if (!out) {
+    throw std::runtime_error("write to " + path + " failed");
+  }
+  std::printf("wrote %s (%zu events)\n", path.c_str(), events);
+}
+
+void write_obs_metrics_json(const std::string& path,
+                            const std::string& exhibit,
+                            const std::string& generator, std::size_t threads,
+                            const std::vector<ScenarioResult>& results,
+                            bool include_timers) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot open " + path + " for writing");
+  }
+  common::JsonWriter json(out);
+  open_metrics_document(json, "corropt-obs-metrics/1", exhibit, generator,
+                        threads);
+  std::size_t scenarios = 0;
+  for (const ScenarioResult& result : results) {
+    if (!result.has_obs) continue;
+    json.begin_object();
+    json.member("name", result.name);
+    json.member("journal_events", result.journal.size());
+    json.member("journal_dropped", result.journal_dropped);
+    result.obs_metrics.write_json(json, include_timers);
+    json.end_object();
+    ++scenarios;
+  }
+  close_metrics_document(json);
+  if (!out) {
+    throw std::runtime_error("write to " + path + " failed");
+  }
+  std::printf("wrote %s (%zu scenarios)\n", path.c_str(), scenarios);
 }
 
 }  // namespace corropt::bench

@@ -19,7 +19,9 @@
 #include <utility>
 #include <vector>
 
+#include "common/json.h"
 #include "common/thread_pool.h"
+#include "obs/sink.h"
 #include "sim/mitigation_sim.h"
 #include "topology/topology.h"
 #include "trace/trace.h"
@@ -44,6 +46,13 @@ struct ScenarioJob {
 
   // Simulation configuration, including the sim seed (`config.seed`).
   sim::ScenarioConfig config;
+
+  // Attach a per-job obs sink (metrics registry + event journal) for the
+  // run and return the folded snapshot/journal in ScenarioResult. Each
+  // job gets its own registry, so aggregation across a sweep stays
+  // deterministic regardless of worker count. Ignored when the caller
+  // already wired `config.sink`.
+  bool collect_obs = false;
 };
 
 struct ScenarioResult {
@@ -51,8 +60,15 @@ struct ScenarioResult {
   std::vector<std::pair<std::string, std::string>> tags;
   sim::SimulationMetrics metrics;
   std::size_t link_count = 0;
-  // Wall-clock of this job alone; the only non-deterministic field.
+  // Wall-clock of this job alone; non-deterministic, like the timers
+  // section of `obs_metrics`.
   double wall_seconds = 0.0;
+
+  // Filled when the job ran with collect_obs.
+  bool has_obs = false;
+  obs::MetricsSnapshot obs_metrics;
+  std::vector<obs::Event> journal;
+  std::uint64_t journal_dropped = 0;
 };
 
 class ScenarioRunner {
@@ -106,5 +122,32 @@ void write_metrics_json(const std::string& path, const std::string& exhibit,
                         const std::string& generator, std::size_t threads,
                         const std::vector<ScenarioResult>& results,
                         const MetricsJsonOptions& options = {});
+
+// Shared document envelope of every metrics JSON this repo writes
+// (corropt-bench-metrics/1, corropt-obs-metrics/1): opens the root
+// object, emits schema/exhibit/generator (+ "threads" when nonzero), and
+// opens the "scenarios" array. The caller emits one object per scenario,
+// then closes with close_metrics_document().
+void open_metrics_document(common::JsonWriter& json, const std::string& schema,
+                           const std::string& exhibit,
+                           const std::string& generator,
+                           std::size_t threads = 0);
+void close_metrics_document(common::JsonWriter& json);
+
+// Writes the concatenated per-job journals of `results` as JSONL, one
+// event per line tagged with its scenario name, jobs in sweep order.
+// Fully deterministic for any worker count. Jobs without collected obs
+// are skipped.
+void write_obs_jsonl(const std::string& path,
+                     const std::vector<ScenarioResult>& results);
+
+// Writes the per-job metric snapshots as one corropt-obs-metrics/1
+// document with a scenarios[] section per job. `include_timers` adds the
+// wall-clock timer histograms (excluded from determinism comparisons).
+void write_obs_metrics_json(const std::string& path,
+                            const std::string& exhibit,
+                            const std::string& generator, std::size_t threads,
+                            const std::vector<ScenarioResult>& results,
+                            bool include_timers = true);
 
 }  // namespace corropt::bench

@@ -22,6 +22,41 @@ void Controller::enable_audit_log(std::size_t capacity) {
   audit_capacity_ = capacity;
 }
 
+void Controller::set_sink(obs::Sink* sink) {
+  sink_ = sink;
+  fast_checker_.set_sink(sink);
+  optimizer_.set_sink(sink);
+  if (sink == nullptr || sink->metrics == nullptr) {
+    obs_reports_ = obs::Counter();
+    obs_disabled_arrival_ = obs::Counter();
+    obs_disabled_activation_ = obs::Counter();
+    obs_refused_capacity_ = obs::Counter();
+    obs_tickets_ = obs::Counter();
+    obs_optimizer_runs_ = obs::Counter();
+    return;
+  }
+  obs::MetricsRegistry& metrics = *sink->metrics;
+  obs_reports_ = metrics.counter("controller.corruption_reports");
+  obs_disabled_arrival_ = metrics.counter("controller.disabled_on_arrival");
+  obs_disabled_activation_ =
+      metrics.counter("controller.disabled_on_activation");
+  obs_refused_capacity_ = metrics.counter("controller.refused_capacity");
+  obs_tickets_ = metrics.counter("controller.tickets_issued");
+  obs_optimizer_runs_ = metrics.counter("controller.optimizer_runs");
+}
+
+void Controller::emit_link(obs::EventKind kind, obs::EventReason reason,
+                           common::LinkId link, double value) {
+  if (sink_ == nullptr) return;
+  obs::Event event;
+  event.kind = kind;
+  event.reason = reason;
+  event.link = link;
+  event.sw = topo_->link_at(link).lower;
+  event.value = value;
+  sink_->emit(event);
+}
+
 void Controller::audit(ActionRecord record) {
   if (!audit_enabled_) return;
   if (audit_log_.size() >= audit_capacity_) audit_log_.pop_front();
@@ -30,6 +65,7 @@ void Controller::audit(ActionRecord record) {
 
 void Controller::issue_ticket(common::LinkId link) {
   ++stats_.tickets_issued;
+  obs_tickets_.add();
   audit({ActionRecord::Kind::kTicketIssued, link, corruption_.rate(link), 0});
   if (ticket_callback_) ticket_callback_(link);
 }
@@ -62,19 +98,34 @@ bool Controller::arrival_disable(common::LinkId link) {
 bool Controller::on_corruption_detected(common::LinkId link,
                                         double loss_rate) {
   ++stats_.corruption_reports;
+  obs_reports_.add();
   corruption_.mark(link, loss_rate);
-  if (!topo_->is_enabled(link)) return false;  // Already off (e.g. peer).
+  emit_link(obs::EventKind::kCorruptionDetected, obs::EventReason::kNone,
+            link, loss_rate);
+  if (!topo_->is_enabled(link)) {  // Already off (e.g. peer).
+    emit_link(obs::EventKind::kFastCheckVerdict,
+              obs::EventReason::kAlreadyDisabled, link, loss_rate);
+    return false;
+  }
   if (arrival_disable(link)) {
     ++stats_.disabled_on_arrival;
+    obs_disabled_arrival_.add();
     CORROPT_LOG_INFO << "controller: disabled corrupting link "
                      << link.value() << " (loss rate " << loss_rate << ")";
     audit({ActionRecord::Kind::kDisabled, link, loss_rate, 0});
+    emit_link(obs::EventKind::kFastCheckVerdict,
+              obs::EventReason::kDisabledVerdict, link, loss_rate);
+    emit_link(obs::EventKind::kLinkDisabled, obs::EventReason::kArrival,
+              link, loss_rate);
     issue_ticket(link);
     return true;
   }
   CORROPT_LOG_INFO << "controller: corrupting link " << link.value()
                    << " kept active: capacity constraint would be violated";
   audit({ActionRecord::Kind::kRefusedCapacity, link, loss_rate, 0});
+  obs_refused_capacity_.add();
+  emit_link(obs::EventKind::kFastCheckVerdict,
+            obs::EventReason::kRefusedCapacity, link, loss_rate);
   return false;
 }
 
@@ -89,7 +140,10 @@ void Controller::recheck_all_active() {
   for (common::LinkId link : active) {
     if (arrival_disable(link)) {
       ++stats_.disabled_on_activation;
+      obs_disabled_activation_.add();
       audit({ActionRecord::Kind::kDisabled, link, corruption_.rate(link), 0});
+      emit_link(obs::EventKind::kLinkDisabled, obs::EventReason::kActivation,
+                link, corruption_.rate(link));
       issue_ticket(link);
     }
   }
@@ -99,6 +153,7 @@ void Controller::on_link_repaired(common::LinkId link) {
   corruption_.unmark(link);
   topo_->set_enabled(link, true);
   audit({ActionRecord::Kind::kEnabled, link, 0.0, 0});
+  emit_link(obs::EventKind::kLinkEnabled, obs::EventReason::kNone, link, 0.0);
   switch (config_.mode) {
     case CheckerMode::kSwitchLocal:
     case CheckerMode::kFastCheckerOnly:
@@ -106,13 +161,27 @@ void Controller::on_link_repaired(common::LinkId link) {
       break;
     case CheckerMode::kCorrOpt: {
       ++stats_.optimizer_runs;
+      obs_optimizer_runs_.add();
       const OptimizerResult result = optimizer_.run(corruption_);
       stats_.disabled_on_activation += result.disabled.size();
+      obs_disabled_activation_.add(result.disabled.size());
       audit({ActionRecord::Kind::kOptimizerRun, common::LinkId(), 0.0,
              result.disabled.size()});
+      if (sink_ != nullptr) {
+        obs::Event event;
+        event.kind = obs::EventKind::kOptimizerRun;
+        event.value = result.disabled_penalty;
+        event.value2 = result.remaining_penalty;
+        event.detail0 = result.disabled.size();
+        event.detail1 = result.subsets_evaluated;
+        sink_->emit(event);
+      }
       for (common::LinkId disabled : result.disabled) {
         audit({ActionRecord::Kind::kDisabled, disabled,
                corruption_.rate(disabled), 0});
+        emit_link(obs::EventKind::kLinkDisabled,
+                  obs::EventReason::kActivation, disabled,
+                  corruption_.rate(disabled));
         issue_ticket(disabled);
       }
       break;
@@ -123,6 +192,8 @@ void Controller::on_link_repaired(common::LinkId link) {
 void Controller::on_corruption_cleared(common::LinkId link) {
   audit({ActionRecord::Kind::kCorruptionCleared, link,
          corruption_.rate(link), 0});
+  emit_link(obs::EventKind::kCorruptionCleared, obs::EventReason::kNone, link,
+            corruption_.rate(link));
   corruption_.unmark(link);
 }
 

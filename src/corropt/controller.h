@@ -21,6 +21,7 @@
 #include "corropt/optimizer.h"
 #include "corropt/penalty.h"
 #include "corropt/switch_local.h"
+#include "obs/sink.h"
 #include "topology/topology.h"
 
 namespace corropt::core {
@@ -122,6 +123,12 @@ class Controller {
     return audit_log_;
   }
 
+  // Attaches observability (DESIGN.md §8): decision counters and journal
+  // events for every verdict, forwarded to the fast checker and
+  // optimizer as well. The sink is write-only — attaching it never
+  // changes a decision. Pass nullptr to detach.
+  void set_sink(obs::Sink* sink);
+
  private:
   // Re-examines all active corrupting links with the mode's arrival
   // checker (switch-local and fast-checker-only modes).
@@ -129,6 +136,9 @@ class Controller {
   void issue_ticket(common::LinkId link);
   bool arrival_disable(common::LinkId link);
   void audit(ActionRecord record);
+  // Journals a link-scoped event with the link's lower switch filled in.
+  void emit_link(obs::EventKind kind, obs::EventReason reason,
+                 common::LinkId link, double value);
 
   topology::Topology* topo_;
   ControllerConfig config_;
@@ -143,6 +153,15 @@ class Controller {
   bool audit_enabled_ = false;
   std::size_t audit_capacity_ = 0;
   std::deque<ActionRecord> audit_log_;
+
+  // Observability (all inert when sink_ is null).
+  obs::Sink* sink_ = nullptr;
+  obs::Counter obs_reports_;
+  obs::Counter obs_disabled_arrival_;
+  obs::Counter obs_disabled_activation_;
+  obs::Counter obs_refused_capacity_;
+  obs::Counter obs_tickets_;
+  obs::Counter obs_optimizer_runs_;
 };
 
 }  // namespace corropt::core

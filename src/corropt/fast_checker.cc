@@ -11,11 +11,30 @@ FastChecker::FastChecker(topology::Topology& topo,
   slot_.assign(topo.switch_count(), -1);
 }
 
+void FastChecker::set_sink(obs::Sink* sink) {
+  sink_ = sink;
+  if (sink == nullptr || sink->metrics == nullptr) {
+    obs_checks_ = obs::Counter();
+    obs_disables_ = obs::Counter();
+    obs_cache_refreshes_ = obs::Counter();
+    obs_closure_switches_ = obs::Counter();
+    obs_check_timer_ = obs::Histogram();
+    return;
+  }
+  obs::MetricsRegistry& metrics = *sink->metrics;
+  obs_checks_ = metrics.counter("fastcheck.checks");
+  obs_disables_ = metrics.counter("fastcheck.disables");
+  obs_cache_refreshes_ = metrics.counter("fastcheck.cache_refreshes");
+  obs_closure_switches_ = metrics.counter("fastcheck.closure_switches");
+  obs_check_timer_ = metrics.timer("fastcheck.check_s");
+}
+
 void FastChecker::refresh_cache() {
   if (cache_valid_ && cached_version_ == topo_->state_version()) return;
   cached_counts_ = paths_.up_paths();
   cached_version_ = topo_->state_version();
   cache_valid_ = true;
+  obs_cache_refreshes_.add();
 }
 
 FastChecker::ClosureResult FastChecker::evaluate_closure(
@@ -82,8 +101,14 @@ FastChecker::ClosureResult FastChecker::evaluate_closure(
 
 bool FastChecker::can_disable(common::LinkId link) {
   if (!topo_->is_enabled(link)) return true;
+  const obs::ScopedTimer timer(obs_check_timer_,
+                               sink_ != nullptr ? sink_->trace : nullptr,
+                               "fastcheck.can_disable");
   refresh_cache();
-  return evaluate_closure(link).feasible;
+  const ClosureResult result = evaluate_closure(link);
+  obs_checks_.add();
+  obs_closure_switches_.add(result.updates.size());
+  return result.feasible;
 }
 
 bool FastChecker::can_disable(
@@ -98,9 +123,15 @@ bool FastChecker::can_disable(
 
 bool FastChecker::try_disable(common::LinkId link) {
   if (!topo_->is_enabled(link)) return true;
+  const obs::ScopedTimer timer(obs_check_timer_,
+                               sink_ != nullptr ? sink_->trace : nullptr,
+                               "fastcheck.try_disable");
   refresh_cache();
   const ClosureResult result = evaluate_closure(link);
+  obs_checks_.add();
+  obs_closure_switches_.add(result.updates.size());
   if (!result.feasible) return false;
+  obs_disables_.add();
   topo_->set_enabled(link, false);
   // Fold the closure's new counts into the cache so consecutive
   // decisions stay incremental.

@@ -26,6 +26,7 @@
 #include "common/ids.h"
 #include "corropt/capacity.h"
 #include "corropt/path_counter.h"
+#include "obs/sink.h"
 #include "topology/topology.h"
 
 namespace corropt::core {
@@ -55,6 +56,11 @@ class FastChecker {
 
   [[nodiscard]] const PathCounter& paths() const { return paths_; }
 
+  // Attaches observability: per-decision counters ("fastcheck.checks",
+  // ".disables", ".cache_refreshes", ".closure_switches") and the
+  // "fastcheck.check_s" wall-clock timer. Pass nullptr to detach.
+  void set_sink(obs::Sink* sink);
+
  private:
   struct ClosureResult {
     bool feasible = true;
@@ -80,6 +86,14 @@ class FastChecker {
   std::vector<char> in_closure_;
   std::vector<common::SwitchId> closure_;
   std::vector<std::int32_t> slot_;
+
+  // Observability (all inert when sink_ is null).
+  obs::Sink* sink_ = nullptr;
+  obs::Counter obs_checks_;
+  obs::Counter obs_disables_;
+  obs::Counter obs_cache_refreshes_;
+  obs::Counter obs_closure_switches_;
+  obs::Histogram obs_check_timer_;
 };
 
 }  // namespace corropt::core

@@ -422,7 +422,55 @@ OptimizerSegmentOutcome Optimizer::solve_segment(
   return out;
 }
 
+void Optimizer::set_sink(obs::Sink* sink) {
+  sink_ = sink;
+  if (sink == nullptr || sink->metrics == nullptr) {
+    obs_runs_ = obs::Counter();
+    obs_disabled_ = obs::Counter();
+    obs_pruned_ = obs::Counter();
+    obs_segments_ = obs::Counter();
+    obs_subsets_ = obs::Counter();
+    obs_cache_skips_ = obs::Counter();
+    obs_accept_skips_ = obs::Counter();
+    obs_bound_skips_ = obs::Counter();
+    obs_disabled_per_run_ = obs::Histogram();
+    obs_run_timer_ = obs::Histogram();
+    return;
+  }
+  obs::MetricsRegistry& metrics = *sink->metrics;
+  obs_runs_ = metrics.counter("optimizer.runs");
+  obs_disabled_ = metrics.counter("optimizer.links_disabled");
+  obs_pruned_ = metrics.counter("optimizer.pruned_safe_disables");
+  obs_segments_ = metrics.counter("optimizer.segments");
+  obs_subsets_ = metrics.counter("optimizer.subsets_evaluated");
+  obs_cache_skips_ = metrics.counter("optimizer.cache_skips");
+  obs_accept_skips_ = metrics.counter("optimizer.accept_skips");
+  obs_bound_skips_ = metrics.counter("optimizer.bound_skips");
+  obs_disabled_per_run_ = metrics.histogram(
+      "optimizer.disabled_per_run", {0, 1, 2, 5, 10, 25, 50, 100, 250});
+  obs_run_timer_ = metrics.timer("optimizer.run_s");
+}
+
 OptimizerResult Optimizer::run(const CorruptionSet& corruption) {
+  const obs::ScopedTimer timer(obs_run_timer_,
+                               sink_ != nullptr ? sink_->trace : nullptr,
+                               "optimizer.run");
+  OptimizerResult result = run_impl(corruption);
+  // Recorded post-merge on the calling thread: deterministic for any
+  // solver_threads (the timer above is wall clock and exempt).
+  obs_runs_.add();
+  obs_disabled_.add(result.disabled.size());
+  obs_pruned_.add(result.pruned_safe_disables);
+  obs_segments_.add(result.segments);
+  obs_subsets_.add(result.subsets_evaluated);
+  obs_cache_skips_.add(result.cache_skips);
+  obs_accept_skips_.add(result.accept_skips);
+  obs_bound_skips_.add(result.bound_skips);
+  obs_disabled_per_run_.record(static_cast<double>(result.disabled.size()));
+  return result;
+}
+
+OptimizerResult Optimizer::run_impl(const CorruptionSet& corruption) {
   OptimizerResult result;
   const std::vector<LinkId> candidates = corruption.active(*topo_);
   if (candidates.empty()) {

@@ -40,6 +40,7 @@
 
 #include "common/bitset.h"
 #include "common/ids.h"
+#include "obs/sink.h"
 #include "corropt/capacity.h"
 #include "corropt/corruption_set.h"
 #include "corropt/path_counter.h"
@@ -118,7 +119,16 @@ class Optimizer {
   // optimal subset. Call whenever a link is (re-)enabled.
   OptimizerResult run(const CorruptionSet& corruption);
 
+  // Attaches observability: every run() reports its OptimizerResult
+  // counters to the registry and its wall time to the
+  // "optimizer.run_s" timer (DESIGN.md §8). Counters are recorded on
+  // the calling thread after the parallel segment merge, so they stay
+  // bit-identical for any `solver_threads`. Pass nullptr to detach.
+  void set_sink(obs::Sink* sink);
+
  private:
+  OptimizerResult run_impl(const CorruptionSet& corruption);
+
   // Exact branch-and-bound (or greedy, over-budget) search within one
   // segment. Pure with respect to `topo_`: reads link state, never
   // writes, so segments may be solved concurrently.
@@ -148,6 +158,19 @@ class Optimizer {
   std::vector<SwitchId> baseline_violated_;
   std::uint64_t baseline_version_ = 0;
   PathCounter::SweepScratch sweep_scratch_;
+
+  // Observability (all inert when sink_ is null).
+  obs::Sink* sink_ = nullptr;
+  obs::Counter obs_runs_;
+  obs::Counter obs_disabled_;
+  obs::Counter obs_pruned_;
+  obs::Counter obs_segments_;
+  obs::Counter obs_subsets_;
+  obs::Counter obs_cache_skips_;
+  obs::Counter obs_accept_skips_;
+  obs::Counter obs_bound_skips_;
+  obs::Histogram obs_disabled_per_run_;
+  obs::Histogram obs_run_timer_;
 
   void refresh_baseline();
 };

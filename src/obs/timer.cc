@@ -1,0 +1,57 @@
+#include "obs/timer.h"
+
+#include "common/json.h"
+
+namespace corropt::obs {
+
+TraceRecorder::TraceRecorder(std::size_t capacity)
+    : capacity_(capacity), origin_(std::chrono::steady_clock::now()) {}
+
+void TraceRecorder::record(const char* name,
+                           std::chrono::steady_clock::time_point begin,
+                           std::chrono::steady_clock::time_point end) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (spans_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  Span span;
+  span.name = name == nullptr ? "span" : name;
+  span.start_us =
+      std::chrono::duration<double, std::micro>(begin - origin_).count();
+  span.dur_us = std::chrono::duration<double, std::micro>(end - begin).count();
+  span.tid = static_cast<std::uint32_t>(detail::thread_shard());
+  spans_.push_back(span);
+}
+
+std::size_t TraceRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+std::uint64_t TraceRecorder::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void TraceRecorder::write_chrome_trace(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  common::JsonWriter json(out);
+  json.begin_object();
+  json.member("displayTimeUnit", "ms");
+  json.key("traceEvents").begin_array();
+  for (const Span& span : spans_) {
+    json.begin_object();
+    json.member("name", span.name);
+    json.member("ph", "X");
+    json.member("pid", 1);
+    json.member("tid", static_cast<std::int64_t>(span.tid));
+    json.member("ts", span.start_us);
+    json.member("dur", span.dur_us);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+}
+
+}  // namespace corropt::obs

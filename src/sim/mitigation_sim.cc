@@ -42,6 +42,19 @@ MitigationSimulation::MitigationSimulation(topology::Topology& topo,
     controller_.mutable_constraint().set_tor_fraction(tor, fraction);
     constraint_.set_tor_fraction(tor, fraction);
   }
+  if (config_.sink != nullptr) {
+    controller_.set_sink(config_.sink);
+    monitor_.set_sink(config_.sink);
+    detector_.set_sink(config_.sink);
+  }
+}
+
+void MitigationSimulation::emit(obs::Event event) {
+  if (config_.sink == nullptr) return;
+  if (event.link.valid() && !event.sw.valid()) {
+    event.sw = topo_->link_at(event.link).lower;
+  }
+  config_.sink->emit(event);
 }
 
 double MitigationSimulation::true_penalty_rate() const {
@@ -96,11 +109,21 @@ void MitigationSimulation::run_poll_cycle(SimulationMetrics& metrics) {
       if (!event.has_value()) continue;
       if (event->kind == telemetry::DetectionEvent::Kind::kCorrupting) {
         ++metrics.polled_detections;
+        std::uint64_t latency_s = 0;
         const auto pending = pending_detection_.find(event->link);
         if (pending != pending_detection_.end()) {
           metrics.mean_detection_latency_s +=
               static_cast<double>(now_ - pending->second);
+          latency_s = static_cast<std::uint64_t>(now_ - pending->second);
           pending_detection_.erase(pending);
+        }
+        {
+          obs::Event journal_event;
+          journal_event.kind = obs::EventKind::kPolledDetection;
+          journal_event.link = event->link;
+          journal_event.value = event->loss_rate;
+          journal_event.detail0 = latency_s;
+          emit(journal_event);
         }
         const bool disabled =
             controller_.on_corruption_detected(event->link, event->loss_rate);
@@ -145,6 +168,17 @@ void MitigationSimulation::open_ticket(common::LinkId link, SimTime now) {
       queue_.open(link, now, attempt, recommendation, std::move(rationale));
   const SimTime completion = queue_.ticket(ticket).scheduled_completion;
   ticket_resolution_total_s_ += static_cast<double>(completion - now);
+  {
+    obs::Event event;
+    event.kind = obs::EventKind::kTicketOpened;
+    event.link = link;
+    event.ticket = ticket;
+    event.detail0 = static_cast<std::uint64_t>(attempt);
+    event.detail1 = recommendation.has_value()
+                        ? static_cast<std::uint64_t>(*recommendation) + 1
+                        : 0;
+    emit(event);
+  }
   push_repair({completion, ticket, link, attempt,
                PendingRepair::Kind::kRepair});
   if (config_.model_collateral_maintenance &&
@@ -172,11 +206,21 @@ void MitigationSimulation::start_maintenance(common::LinkId link,
       !paths_.feasible(paths_.up_paths(), constraint_)) {
     ++metrics.maintenance_capacity_violations;
   }
+  obs::Event event;
+  event.kind = obs::EventKind::kMaintenanceStart;
+  event.link = link;
+  event.detail0 = taken.size();
+  emit(event);
 }
 
 void MitigationSimulation::end_maintenance(common::LinkId link) {
   const auto it = collateral_down_.find(link);
   if (it == collateral_down_.end()) return;
+  obs::Event event;
+  event.kind = obs::EventKind::kMaintenanceEnd;
+  event.link = link;
+  event.detail0 = it->second.size();
+  emit(event);
   for (common::LinkId peer : it->second) {
     topo_->set_enabled(peer, true);
   }
@@ -255,6 +299,13 @@ void MitigationSimulation::handle_repair(const PendingRepair& repair,
     // re-disables it (capacity permitting), issuing the next ticket.
     ++metrics.redetections;
     const double rate = state_.link_corruption_rate(repair.link);
+    {
+      obs::Event event;
+      event.kind = obs::EventKind::kRedetection;
+      event.link = repair.link;
+      event.value = rate;
+      emit(event);
+    }
     if (rate >= core::kLossyThreshold) {
       controller_.on_corruption_detected(repair.link, rate);
     }
@@ -289,6 +340,19 @@ void MitigationSimulation::handle_repair(const PendingRepair& repair,
 
   const bool success = attempt_repair(repair);
   queue_.close(repair.ticket);
+  {
+    obs::Event event;
+    event.kind = obs::EventKind::kRepairAttempt;
+    event.reason = success ? obs::EventReason::kSucceeded
+                           : obs::EventReason::kFailed;
+    event.link = repair.link;
+    event.ticket = repair.ticket;
+    event.detail0 = static_cast<std::uint64_t>(repair.attempt);
+    emit(event);
+    event.kind = obs::EventKind::kTicketClosed;
+    event.reason = obs::EventReason::kNone;
+    emit(event);
+  }
   if (success) {
     if (first) ++metrics.first_attempt_successes;
     attempts_[repair.link.index()] = 0;
@@ -339,6 +403,8 @@ void MitigationSimulation::integrate_until(SimTime t,
     cursor += step;
   }
   now_ = t;
+  // Keep the journal clock in lockstep with simulation time.
+  if (config_.sink != nullptr) config_.sink->now = now_;
 }
 
 void MitigationSimulation::sample_capacity(SimTime t,
@@ -384,6 +450,10 @@ SimulationMetrics MitigationSimulation::run(
 
   auto record_penalty = [this, &metrics]() {
     metrics.penalty_series.push_back({now_, penalty_rate_});
+    obs::Event event;
+    event.kind = obs::EventKind::kPenaltySample;
+    event.value = penalty_rate_;
+    emit(event);
   };
   record_penalty();
 
@@ -422,6 +492,17 @@ SimulationMetrics MitigationSimulation::run(
       injector_.advance(now_);
       injector_.inject(event.fault);
       ++metrics.faults_injected;
+      {
+        obs::Event journal_event;
+        journal_event.kind = obs::EventKind::kFaultInjected;
+        if (!event.fault.links.empty()) {
+          journal_event.link = event.fault.links.front();
+        }
+        journal_event.detail0 = event.fault.links.size();
+        journal_event.detail1 =
+            static_cast<std::uint64_t>(event.fault.cause);
+        emit(journal_event);
+      }
       for (common::LinkId link : event.fault.links) {
         const double rate = state_.link_corruption_rate(link);
         if (rate < core::kLossyThreshold) continue;
@@ -465,7 +546,36 @@ SimulationMetrics MitigationSimulation::run(
         static_cast<double>(metrics.polled_detections);
   }
   metrics.controller = controller_.stats();
+  publish_metrics(metrics);
   return metrics;
+}
+
+void MitigationSimulation::publish_metrics(const SimulationMetrics& metrics) {
+  if (config_.sink == nullptr || config_.sink->metrics == nullptr) return;
+  obs::MetricsRegistry& reg = *config_.sink->metrics;
+  reg.counter("sim.faults_injected").add(metrics.faults_injected);
+  reg.counter("sim.tickets_opened").add(metrics.tickets_opened);
+  reg.counter("sim.repair_attempts").add(metrics.repair_attempts);
+  reg.counter("sim.first_attempts").add(metrics.first_attempts);
+  reg.counter("sim.first_attempt_successes")
+      .add(metrics.first_attempt_successes);
+  reg.counter("sim.redetections").add(metrics.redetections);
+  reg.counter("sim.polled_detections").add(metrics.polled_detections);
+  reg.counter("sim.undisabled_detections").add(metrics.undisabled_detections);
+  reg.counter("sim.maintenance_windows").add(metrics.maintenance_windows);
+  reg.counter("sim.maintenance_capacity_violations")
+      .add(metrics.maintenance_capacity_violations);
+  reg.counter("sim.penalty_samples").add(metrics.penalty_series.size());
+  reg.gauge("sim.integrated_penalty").set(metrics.integrated_penalty);
+  reg.gauge("sim.mean_tor_fraction").set(metrics.mean_tor_fraction);
+  reg.gauge("sim.first_attempt_accuracy")
+      .set(metrics.first_attempt_accuracy());
+  reg.gauge("sim.mean_ticket_resolution_s")
+      .set(metrics.mean_ticket_resolution_s);
+  reg.gauge("sim.mean_detection_latency_s")
+      .set(metrics.mean_detection_latency_s);
+  reg.gauge("sim.collateral_link_seconds")
+      .set(metrics.collateral_link_seconds);
 }
 
 }  // namespace corropt::sim

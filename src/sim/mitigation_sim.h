@@ -20,6 +20,7 @@
 #include "corropt/path_counter.h"
 #include "corropt/recommendation.h"
 #include "faults/injector.h"
+#include "obs/sink.h"
 #include "telemetry/detector.h"
 #include "telemetry/monitor.h"
 #include "repair/technician.h"
@@ -116,6 +117,14 @@ struct ScenarioConfig {
   // modes can honour per-ToR values — the switch-local baseline has a
   // single global sc, which is exactly its Section 5.1 limitation.
   std::vector<std::pair<common::SwitchId, double>> tor_overrides;
+
+  // Optional observability sink (DESIGN.md §8), shared with the
+  // controller/optimizer/telemetry stack. The event loop advances
+  // `sink->now` as simulation time progresses, journals every decision,
+  // and folds SimulationMetrics into the registry at end of run. The
+  // sink is write-only: attaching one changes no simulation outcome.
+  // Not owned; must outlive the simulation.
+  obs::Sink* sink = nullptr;
 };
 
 struct TimePoint {
@@ -218,6 +227,11 @@ class MitigationSimulation {
   // corrupting links accrue I(f) from fault onset regardless of whether
   // the controller has noticed yet.
   [[nodiscard]] double true_penalty_rate() const;
+  // Journals an event (no-op without a sink); link-valid events get the
+  // link's lower switch filled in.
+  void emit(obs::Event event);
+  // Folds the finished run's SimulationMetrics into the sink's registry.
+  void publish_metrics(const SimulationMetrics& metrics);
 
   topology::Topology* topo_;
   ScenarioConfig config_;

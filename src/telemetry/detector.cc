@@ -15,6 +15,16 @@ CorruptionDetector::CorruptionDetector(const topology::Topology& topo,
   corrupting_.assign(topo.link_count(), 0);
 }
 
+void CorruptionDetector::set_sink(obs::Sink* sink) {
+  if (sink == nullptr || sink->metrics == nullptr) {
+    obs_detections_ = obs::Counter();
+    obs_clears_ = obs::Counter();
+    return;
+  }
+  obs_detections_ = sink->metrics->counter("telemetry.detections");
+  obs_clears_ = sink->metrics->counter("telemetry.clears");
+}
+
 void CorruptionDetector::reset(common::LinkId link) {
   for (const topology::LinkDirection dir :
        {topology::LinkDirection::kUp, topology::LinkDirection::kDown}) {
@@ -56,11 +66,13 @@ std::optional<DetectionEvent> CorruptionDetector::observe(
   const bool was_corrupting = corrupting_[link.index()] != 0;
   if (!was_corrupting && rate >= params_.lossy_threshold) {
     corrupting_[link.index()] = 1;
+    obs_detections_.add();
     return DetectionEvent{DetectionEvent::Kind::kCorrupting, link, rate,
                           sample.time};
   }
   if (was_corrupting && rate < params_.clear_threshold) {
     corrupting_[link.index()] = 0;
+    obs_clears_.add();
     return DetectionEvent{DetectionEvent::Kind::kCleared, link, rate,
                           sample.time};
   }

@@ -16,6 +16,7 @@
 
 #include "common/ids.h"
 #include "common/time.h"
+#include "obs/sink.h"
 #include "telemetry/monitor.h"
 #include "topology/topology.h"
 
@@ -70,6 +71,10 @@ class CorruptionDetector {
   void reset(common::LinkId link);
   [[nodiscard]] const DetectorParams& params() const { return params_; }
 
+  // Attaches observability: "telemetry.detections" / "telemetry.clears"
+  // count verdict flips. Pass nullptr to detach.
+  void set_sink(obs::Sink* sink);
+
  private:
   struct Window {
     std::uint64_t packets = 0;
@@ -84,6 +89,8 @@ class CorruptionDetector {
   // Latest per-direction rate estimate from a completed, valid window.
   std::vector<double> estimates_;
   std::vector<char> corrupting_;  // Per link.
+  obs::Counter obs_detections_;
+  obs::Counter obs_clears_;
 };
 
 }  // namespace corropt::telemetry

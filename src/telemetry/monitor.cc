@@ -15,6 +15,16 @@ PollingMonitor::PollingMonitor(NetworkState& state, common::Rng& rng,
   assert(packets_per_epoch_at_line_rate > 0.0);
 }
 
+void PollingMonitor::set_sink(obs::Sink* sink) {
+  if (sink == nullptr || sink->metrics == nullptr) {
+    obs_polls_ = obs::Counter();
+    obs_poll_cycles_ = obs::Counter();
+    return;
+  }
+  obs_polls_ = sink->metrics->counter("telemetry.polls");
+  obs_poll_cycles_ = sink->metrics->counter("telemetry.poll_cycles");
+}
+
 PollSample PollingMonitor::poll_direction(DirectionId dir,
                                           SimTime epoch_start,
                                           const DirectionLoad& load) {
@@ -41,6 +51,7 @@ PollSample PollingMonitor::poll_direction(DirectionId dir,
     d.corruption_drops += sample.corruption_drops;
     d.congestion_drops += sample.congestion_drops;
   }
+  obs_polls_.add();
   return sample;
 }
 
@@ -55,6 +66,7 @@ std::vector<PollSample> PollingMonitor::poll(SimTime epoch_start,
     const DirectionId dir(static_cast<common::DirectionId::underlying_type>(i));
     samples.push_back(poll_direction(dir, epoch_start, load(dir, epoch_start)));
   }
+  obs_poll_cycles_.add();
   return samples;
 }
 

@@ -14,6 +14,7 @@
 #include "common/ids.h"
 #include "common/rng.h"
 #include "common/time.h"
+#include "obs/sink.h"
 #include "telemetry/network_state.h"
 
 namespace corropt::telemetry {
@@ -82,10 +83,16 @@ class PollingMonitor {
   PollSample poll_direction(DirectionId dir, SimTime epoch_start,
                             const DirectionLoad& load);
 
+  // Attaches observability: "telemetry.polls" counts direction samples,
+  // "telemetry.poll_cycles" full fabric sweeps. Pass nullptr to detach.
+  void set_sink(obs::Sink* sink);
+
  private:
   NetworkState* state_;
   common::Rng* rng_;
   double packets_at_line_rate_;
+  obs::Counter obs_polls_;
+  obs::Counter obs_poll_cycles_;
 };
 
 }  // namespace corropt::telemetry
