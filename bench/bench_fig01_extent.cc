@@ -4,60 +4,94 @@
 // congestion losses (ratio near 1) despite an existing mitigation system.
 //
 // Substitution note (DESIGN.md): the 15 production DCNs (4-50K links) are
-// replaced by 15 synthetic fat-trees spanning 2K-16K links — scaled
-// down ~3x so that three weeks of polls run in seconds — with the same
-// corruption prevalence model per DCN. The ratio is scale-free.
+// replaced by 15 synthetic fat-trees spanning 2K-16K links with the same
+// corruption prevalence model per DCN; the ratio is scale-free. The sweep
+// runs in two parallel phases — per-DCN construction jobs, then one flat
+// tile list over every DCN's loss-capable directions — and its output is
+// bit-identical for any --threads value (DESIGN.md §9).
 
 #include <array>
 #include <cstdio>
+#include <memory>
 #include <vector>
 
 #include "analysis/measurement_study.h"
+#include "analysis/study_accumulators.h"
 #include "bench_util.h"
 #include "stats/descriptive.h"
+#include "study_util.h"
 #include "topology/fat_tree.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace corropt;
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
   bench::print_header(
       "Figure 1",
       "Daily corruption losses normalized by mean congestion losses, "
       "per DCN (sorted by size), over 21 days");
 
-  constexpr int kDays = 21;
+  const int days = bench::days_or(args, 21);
   const std::array<int, 15> dcn_k = {16, 16, 18, 18, 20, 20, 22, 22,
                                      24, 24, 26, 26, 28, 30, 32};
 
-  std::printf("%5s %8s %10s %22s\n", "dcn", "links", "corr/cong",
-              "stddev across days");
-  for (std::size_t d = 0; d < dcn_k.size(); ++d) {
-    const topology::Topology topo = topology::build_fat_tree(dcn_k[d]);
+  bench::ScenarioRunner runner(args.threads);
+
+  // Phase 1: each DCN is an independent construction job (topology build
+  // plus fault seeding), fanned out across the runner's pool.
+  struct Dcn {
+    std::unique_ptr<topology::Topology> topo;
+    std::unique_ptr<analysis::MeasurementStudy> study;
+  };
+  std::vector<Dcn> dcns = runner.map(dcn_k.size(), [&](std::size_t d) {
+    Dcn dcn;
+    dcn.topo = std::make_unique<topology::Topology>(
+        topology::build_fat_tree(dcn_k[d]));
     analysis::StudyConfig config;
-    config.days = kDays;
+    config.days = days;
     config.epoch = common::kHour;
     config.corrupting_link_fraction = 0.004;
     config.seed = 1000 + d;
-    analysis::MeasurementStudy study(topo, config);
+    dcn.study =
+        std::make_unique<analysis::MeasurementStudy>(*dcn.topo, config);
+    return dcn;
+  });
 
-    std::vector<double> corruption_per_day(kDays, 0.0);
-    std::vector<double> congestion_per_day(kDays, 0.0);
-    study.run([&](const telemetry::PollSample& s) {
-      const auto day = static_cast<std::size_t>(s.time / common::kDay);
-      corruption_per_day[day] += static_cast<double>(s.corruption_drops);
-      congestion_per_day[day] += static_cast<double>(s.congestion_drops);
-    });
+  // Phase 2: synthesize all 15 studies as one flat tile list, so the
+  // 2K-link fabrics at the front cannot leave workers idle while the
+  // 16K-link ones finish.
+  std::vector<analysis::DailyDropTotalsAccumulator> accs(
+      dcn_k.size(), analysis::DailyDropTotalsAccumulator(days));
+  std::vector<const analysis::MeasurementStudy*> studies;
+  studies.reserve(dcns.size());
+  for (const Dcn& dcn : dcns) studies.push_back(dcn.study.get());
+  analysis::MeasurementStudy::run_many<analysis::DailyDropTotalsAccumulator>(
+      studies, accs, &runner.pool());
 
-    const double mean_congestion =
-        stats::mean(congestion_per_day);
-    stats::RunningStats normalized;
-    for (double day_losses : corruption_per_day) {
-      normalized.add(day_losses / mean_congestion);
+  std::vector<bench::StudyScenario> rows;
+  std::printf("%5s %8s %10s %22s\n", "dcn", "links", "corr/cong",
+              "stddev across days");
+  for (std::size_t d = 0; d < dcn_k.size(); ++d) {
+    std::vector<double> congestion_per_day;
+    for (std::uint64_t v : accs[d].congestion_per_day()) {
+      congestion_per_day.push_back(static_cast<double>(v));
     }
-    std::printf("%5zu %8zu %10.3f %22.3f\n", d + 1, topo.link_count(),
+    const double mean_congestion = stats::mean(congestion_per_day);
+    stats::RunningStats normalized;
+    for (std::uint64_t day_losses : accs[d].corruption_per_day()) {
+      normalized.add(static_cast<double>(day_losses) / mean_congestion);
+    }
+    const std::size_t links = dcns[d].topo->link_count();
+    std::printf("%5zu %8zu %10.3f %22.3f\n", d + 1, links,
                 normalized.mean(), normalized.stddev());
-    std::printf("csv,fig1,%zu,%zu,%.6f,%.6f\n", d + 1, topo.link_count(),
+    std::printf("csv,fig1,%zu,%zu,%.6f,%.6f\n", d + 1, links,
                 normalized.mean(), normalized.stddev());
+    rows.push_back({"dcn_" + std::to_string(d + 1),
+                    {{"links", static_cast<double>(links)},
+                     {"ratio_mean", normalized.mean()},
+                     {"ratio_stddev", normalized.stddev()}}});
   }
+  bench::write_study_metrics_json(args.json_path("fig01"), "fig01",
+                                  "bench_fig01_extent", args.threads, rows);
   std::printf(
       "\npaper: most DCNs sit near ratio 1 (corruption on par with\n"
       "congestion); the horizontal dashed line in the figure is ratio 1.\n");

@@ -6,27 +6,84 @@
 
 #include <cmath>
 #include <cstdio>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "analysis/measurement_study.h"
 #include "bench_util.h"
+#include "common/thread_pool.h"
 #include "stats/cdf.h"
 #include "stats/descriptive.h"
+#include "study_util.h"
 #include "topology/fat_tree.h"
 
-int main() {
-  using namespace corropt;
+namespace {
+
+using namespace corropt;
+
+// Per-direction loss-rate series statistics plus the example link's raw
+// series. Only loss-capable directions can pass the mean > 1e-8 filter
+// below, so the healthy fabric is skipped entirely.
+struct SeriesAccumulator {
+  static constexpr bool kLossCapableOnly = true;
+
+  struct SeriesStats {
+    stats::RunningStats corruption;
+    stats::RunningStats congestion;
+  };
+
+  std::uint32_t example;
+  std::vector<SeriesStats> per_direction;
+  std::vector<std::pair<double, double>> example_series;
+
+  SeriesAccumulator(std::size_t direction_count, common::DirectionId ex)
+      : example(ex.value()), per_direction(direction_count) {}
+
+  struct Partial {
+    std::uint32_t example;
+    std::vector<std::pair<std::uint32_t, SeriesStats>> rows;
+    std::vector<std::pair<double, double>> series;
+
+    void add(const telemetry::PollSample& s) {
+      if (s.packets == 0) return;
+      if (rows.empty() || rows.back().first != s.direction.value()) {
+        rows.emplace_back(s.direction.value(), SeriesStats{});
+      }
+      SeriesStats& stats = rows.back().second;
+      stats.corruption.add(s.corruption_loss_rate());
+      stats.congestion.add(s.congestion_loss_rate());
+      if (s.direction.value() == example) {
+        series.emplace_back(s.corruption_loss_rate(),
+                            s.congestion_loss_rate());
+      }
+    }
+  };
+
+  [[nodiscard]] Partial make_partial() const { return {example, {}, {}}; }
+
+  void merge(Partial& p) {
+    for (auto& [dir, stats] : p.rows) {
+      per_direction[dir].corruption.merge(stats.corruption);
+      per_direction[dir].congestion.merge(stats.congestion);
+    }
+    example_series.insert(example_series.end(), p.series.begin(),
+                          p.series.end());
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
   bench::print_header("Figure 2",
                       "(a) example link loss-rate series; (b) CDF of the "
                       "coefficient of variation across all links, one week");
 
   const topology::Topology topo = topology::build_fat_tree(16);
   analysis::StudyConfig config;
-  config.days = 7;
+  config.days = bench::days_or(args, 7);
   config.epoch = common::kHour;
   config.corrupting_link_fraction = 0.03;
-  
   config.seed = 3;
   analysis::MeasurementStudy study(topo, config);
 
@@ -45,32 +102,19 @@ int main() {
                                      topology::LinkDirection::kUp);
   }
 
-  struct SeriesStats {
-    stats::RunningStats corruption;
-    stats::RunningStats congestion;
-  };
-  std::unordered_map<std::uint32_t, SeriesStats> per_direction;
-  std::vector<std::pair<double, double>> example_series;
-  study.run([&](const telemetry::PollSample& s) {
-    if (s.packets == 0) return;
-    SeriesStats& stats = per_direction[s.direction.value()];
-    stats.corruption.add(s.corruption_loss_rate());
-    stats.congestion.add(s.congestion_loss_rate());
-    if (s.direction == example) {
-      example_series.emplace_back(s.corruption_loss_rate(),
-                                  s.congestion_loss_rate());
-    }
-  });
+  SeriesAccumulator acc(topo.direction_count(), example);
+  common::ThreadPool pool(args.threads);
+  study.run(acc, &pool);
 
   std::printf("(a) example link, 6-hour samples (loss rate)\n");
   std::printf("%6s %14s %14s\n", "hour", "corruption", "congestion");
-  for (std::size_t i = 0; i < example_series.size(); i += 6) {
-    std::printf("%6zu %14.3e %14.3e\n", i, example_series[i].first,
-                example_series[i].second);
+  for (std::size_t i = 0; i < acc.example_series.size(); i += 6) {
+    std::printf("%6zu %14.3e %14.3e\n", i, acc.example_series[i].first,
+                acc.example_series[i].second);
   }
 
   stats::EmpiricalCdf corruption_cv, congestion_cv;
-  for (auto& [dir, stats] : per_direction) {
+  for (const SeriesAccumulator::SeriesStats& stats : acc.per_direction) {
     if (stats.corruption.mean() > 1e-8) {
       corruption_cv.add(stats.corruption.coefficient_of_variation());
     }
@@ -79,6 +123,7 @@ int main() {
     }
   }
 
+  std::vector<bench::StudyScenario> rows;
   std::printf("\n(b) CDF of coefficient of variation of loss rate\n");
   std::printf("%10s %16s %16s\n", "fraction", "corruption CV",
               "congestion CV");
@@ -87,7 +132,16 @@ int main() {
                 congestion_cv.quantile(q));
     std::printf("csv,fig2b,%.2f,%.4f,%.4f\n", q, corruption_cv.quantile(q),
                 congestion_cv.quantile(q));
+    char name[16];
+    std::snprintf(name, sizeof name, "q%.2f", q);
+    rows.push_back({name,
+                    {{"quantile", q},
+                     {"corruption_cv", corruption_cv.quantile(q)},
+                     {"congestion_cv", congestion_cv.quantile(q)}}});
   }
+  bench::write_study_metrics_json(args.json_path("fig02"), "fig02",
+                                  "bench_fig02_stability", args.threads,
+                                  rows);
   std::printf(
       "\npaper: at the 80th percentile corruption CV < 4 while congestion\n"
       "CV is more than twice that. measured: %.2f vs %.2f\n",

@@ -5,30 +5,109 @@
 // Paper: mean correlation 0.19 for corruption (85% of links between -0.5
 // and +0.5) versus 0.62 for congestion.
 
+#include <array>
 #include <cmath>
 #include <cstdio>
-#include <unordered_map>
 #include <vector>
 
 #include "analysis/measurement_study.h"
 #include "bench_util.h"
+#include "common/thread_pool.h"
 #include "stats/cdf.h"
 #include "stats/correlation.h"
 #include "stats/descriptive.h"
+#include "study_util.h"
 #include "topology/fat_tree.h"
 
-int main() {
-  using namespace corropt;
+namespace {
+
+using namespace corropt;
+
+// Per-direction Pearson accumulators of (utilization, log10 loss rate),
+// plus up to 200 raw samples of the example link. Only lossy samples
+// contribute (the loss rate must be positive to take its logarithm), so
+// the loss-capable subset covers the whole computation.
+struct CorrelationAccumulator {
+  static constexpr bool kLossCapableOnly = true;
+
+  std::uint32_t example;
+  std::vector<stats::PearsonAccumulator> corruption;
+  std::vector<stats::PearsonAccumulator> congestion;
+  std::vector<std::array<double, 3>> example_samples;
+
+  CorrelationAccumulator(std::size_t direction_count,
+                         common::DirectionId ex)
+      : example(ex.value()),
+        corruption(direction_count),
+        congestion(direction_count) {}
+
+  struct Partial {
+    std::uint32_t example;
+    std::vector<std::pair<std::uint32_t, stats::PearsonAccumulator>>
+        corruption_rows;
+    std::vector<std::pair<std::uint32_t, stats::PearsonAccumulator>>
+        congestion_rows;
+    std::vector<std::array<double, 3>> example_samples;
+
+    void add(const telemetry::PollSample& s) {
+      if (s.packets == 0) return;
+      const double corruption = s.corruption_loss_rate();
+      const double congestion = s.congestion_loss_rate();
+      if (corruption > 0.0) {
+        if (corruption_rows.empty() ||
+            corruption_rows.back().first != s.direction.value()) {
+          corruption_rows.emplace_back(s.direction.value(),
+                                       stats::PearsonAccumulator{});
+        }
+        corruption_rows.back().second.add(
+            s.utilization, std::log10(std::max(corruption, 1e-10)));
+      }
+      if (congestion > 0.0) {
+        if (congestion_rows.empty() ||
+            congestion_rows.back().first != s.direction.value()) {
+          congestion_rows.emplace_back(s.direction.value(),
+                                       stats::PearsonAccumulator{});
+        }
+        congestion_rows.back().second.add(
+            s.utilization, std::log10(std::max(congestion, 1e-10)));
+      }
+      if (s.direction.value() == example && example_samples.size() < 200) {
+        example_samples.push_back({s.utilization, corruption, congestion});
+      }
+    }
+  };
+
+  [[nodiscard]] Partial make_partial() const {
+    return {example, {}, {}, {}};
+  }
+
+  void merge(Partial& p) {
+    for (const auto& [dir, acc] : p.corruption_rows) {
+      corruption[dir].merge(acc);
+    }
+    for (const auto& [dir, acc] : p.congestion_rows) {
+      congestion[dir].merge(acc);
+    }
+    for (const std::array<double, 3>& s : p.example_samples) {
+      if (example_samples.size() >= 200) break;
+      example_samples.push_back(s);
+    }
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
   bench::print_header("Figure 3",
                       "(a) utilization vs loss-rate samples for one link; "
                       "(b) CDF of Pearson(utilization, log10 loss rate)");
 
   const topology::Topology topo = topology::build_fat_tree(16);
   analysis::StudyConfig config;
-  config.days = 7;
+  config.days = bench::days_or(args, 7);
   config.epoch = common::kHour;
   config.corrupting_link_fraction = 0.03;
-  
   config.seed = 4;
   analysis::MeasurementStudy study(topo, config);
 
@@ -41,50 +120,35 @@ int main() {
     }
   }
 
-  std::unordered_map<std::uint32_t, stats::PearsonAccumulator> corruption_acc;
-  std::unordered_map<std::uint32_t, stats::PearsonAccumulator> congestion_acc;
-  std::vector<std::array<double, 3>> example_samples;
-  study.run([&](const telemetry::PollSample& s) {
-    if (s.packets == 0) return;
-    const double corruption = s.corruption_loss_rate();
-    const double congestion = s.congestion_loss_rate();
-    if (corruption > 0.0) {
-      corruption_acc[s.direction.value()].add(
-          s.utilization, std::log10(std::max(corruption, 1e-10)));
-    }
-    if (congestion > 0.0) {
-      congestion_acc[s.direction.value()].add(
-          s.utilization, std::log10(std::max(congestion, 1e-10)));
-    }
-    if (s.direction == example && example_samples.size() < 200) {
-      example_samples.push_back({s.utilization, corruption, congestion});
-    }
-  });
+  CorrelationAccumulator acc(topo.direction_count(), example);
+  common::ThreadPool pool(args.threads);
+  study.run(acc, &pool);
 
   std::printf("(a) example link samples (every 12th shown)\n");
   std::printf("%12s %14s %14s\n", "utilization", "corruption", "congestion");
-  for (std::size_t i = 0; i < example_samples.size(); i += 12) {
-    std::printf("%12.3f %14.3e %14.3e\n", example_samples[i][0],
-                example_samples[i][1], example_samples[i][2]);
+  for (std::size_t i = 0; i < acc.example_samples.size(); i += 12) {
+    std::printf("%12.3f %14.3e %14.3e\n", acc.example_samples[i][0],
+                acc.example_samples[i][1], acc.example_samples[i][2]);
   }
 
   stats::EmpiricalCdf corruption_r, congestion_r;
   stats::RunningStats corruption_mean, congestion_mean;
   std::size_t moderate = 0, corrupting_dirs = 0;
-  for (auto& [dir, acc] : corruption_acc) {
-    if (acc.count() < 20) continue;
-    const double r = acc.correlation();
+  for (const stats::PearsonAccumulator& pearson : acc.corruption) {
+    if (pearson.count() < 20) continue;
+    const double r = pearson.correlation();
     corruption_r.add(r);
     corruption_mean.add(r);
     ++corrupting_dirs;
     if (r > -0.5 && r < 0.5) ++moderate;
   }
-  for (auto& [dir, acc] : congestion_acc) {
-    if (acc.count() < 20) continue;
-    congestion_r.add(acc.correlation());
-    congestion_mean.add(acc.correlation());
+  for (const stats::PearsonAccumulator& pearson : acc.congestion) {
+    if (pearson.count() < 20) continue;
+    congestion_r.add(pearson.correlation());
+    congestion_mean.add(pearson.correlation());
   }
 
+  std::vector<bench::StudyScenario> rows;
   std::printf("\n(b) CDF of Pearson correlation\n");
   std::printf("%10s %14s %14s\n", "fraction", "corruption", "congestion");
   for (double q : {0.1, 0.25, 0.5, 0.75, 0.9}) {
@@ -92,13 +156,30 @@ int main() {
                 congestion_r.quantile(q));
     std::printf("csv,fig3b,%.2f,%.4f,%.4f\n", q, corruption_r.quantile(q),
                 congestion_r.quantile(q));
+    char name[16];
+    std::snprintf(name, sizeof name, "q%.2f", q);
+    rows.push_back({name,
+                    {{"quantile", q},
+                     {"corruption_r", corruption_r.quantile(q)},
+                     {"congestion_r", congestion_r.quantile(q)}}});
   }
+  const double moderate_fraction =
+      corrupting_dirs == 0
+          ? 0.0
+          : static_cast<double>(moderate) / static_cast<double>(corrupting_dirs);
+  rows.push_back({"summary",
+                  {{"mean_corruption_r", corruption_mean.mean()},
+                   {"mean_congestion_r", congestion_mean.mean()},
+                   {"moderate_fraction", moderate_fraction}}});
+  bench::write_study_metrics_json(args.json_path("fig03"), "fig03",
+                                  "bench_fig03_utilization", args.threads,
+                                  rows);
   std::printf(
       "\nmean correlation: corruption %.3f (paper 0.19), congestion %.3f "
       "(paper 0.62)\n",
       corruption_mean.mean(), congestion_mean.mean());
   std::printf(
       "corrupting links with |r| < 0.5: %.1f%% (paper: 85%%)\n",
-      corrupting_dirs == 0 ? 0.0 : 100.0 * moderate / corrupting_dirs);
+      100.0 * moderate_fraction);
   return 0;
 }

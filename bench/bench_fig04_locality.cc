@@ -10,11 +10,15 @@
 
 #include "analysis/locality.h"
 #include "analysis/measurement_study.h"
+#include "analysis/study_accumulators.h"
 #include "bench_util.h"
+#include "common/thread_pool.h"
+#include "study_util.h"
 #include "topology/fat_tree.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace corropt;
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
   bench::print_header("Figure 4",
                       "Locality ratio (observed / random switch fraction) "
                       "for the worst x% of corrupting and congested links");
@@ -24,7 +28,6 @@ int main() {
   config.days = 1;
   config.epoch = common::kHour;
   config.corrupting_link_fraction = 0.04;
-  
   config.seed = 5;
   analysis::MeasurementStudy study(topo, config);
 
@@ -35,27 +38,29 @@ int main() {
             [](const auto& a, const auto& b) { return a.second > b.second; });
 
   // Congested links, worst first, from one day of polls.
-  std::vector<double> congestion_rate(topo.link_count(), 0.0);
-  std::vector<double> packets(topo.link_count(), 0.0);
-  study.run([&](const telemetry::PollSample& s) {
-    const auto link = topology::link_of(s.direction);
-    congestion_rate[link.index()] += static_cast<double>(s.congestion_drops);
-    packets[link.index()] += static_cast<double>(s.packets);
-  });
+  analysis::DirectionTotalsAccumulator acc(topo.direction_count());
+  common::ThreadPool pool(args.threads);
+  study.run(acc, &pool);
+
   std::vector<std::pair<common::LinkId, double>> congested;
-  for (std::size_t i = 0; i < topo.link_count(); ++i) {
-    if (packets[i] == 0.0) continue;
-    const double rate = congestion_rate[i] / packets[i];
-    if (rate >= 1e-8) {
-      congested.emplace_back(
-          common::LinkId(static_cast<common::LinkId::underlying_type>(i)),
-          rate);
+  for (const auto& link : topo.links()) {
+    std::uint64_t drops = 0, packets = 0;
+    for (topology::LinkDirection dir :
+         {topology::LinkDirection::kUp, topology::LinkDirection::kDown}) {
+      const auto& totals = acc[topology::direction_id(link.id, dir)];
+      drops += totals.congestion_drops;
+      packets += totals.packets;
     }
+    if (packets == 0) continue;
+    const double rate =
+        static_cast<double>(drops) / static_cast<double>(packets);
+    if (rate >= 1e-8) congested.emplace_back(link.id, rate);
   }
   std::sort(congested.begin(), congested.end(),
             [](const auto& a, const auto& b) { return a.second > b.second; });
 
   common::Rng rng(17);
+  std::vector<bench::StudyScenario> rows;
   std::printf("%12s %22s %22s\n", "worst x%", "corruption ratio",
               "congestion ratio");
   for (int percent = 10; percent <= 100; percent += 10) {
@@ -76,7 +81,14 @@ int main() {
                 congestion_ratio);
     std::printf("csv,fig4,%d,%.4f,%.4f\n", percent, corruption_ratio,
                 congestion_ratio);
+    rows.push_back({"worst_" + std::to_string(percent) + "pct",
+                    {{"percent", static_cast<double>(percent)},
+                     {"corruption_ratio", corruption_ratio},
+                     {"congestion_ratio", congestion_ratio}}});
   }
+  bench::write_study_metrics_json(args.json_path("fig04"), "fig04",
+                                  "bench_fig04_locality", args.threads,
+                                  rows);
   std::printf(
       "\npaper: corruption ratio ~0.8 (weak locality, weaker for the worst\n"
       "links); congestion ratio ~0.2 (strong locality at hotspots).\n");

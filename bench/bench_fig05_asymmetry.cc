@@ -9,34 +9,30 @@
 
 #include "analysis/locality.h"
 #include "analysis/measurement_study.h"
+#include "analysis/study_accumulators.h"
 #include "bench_util.h"
+#include "common/thread_pool.h"
+#include "study_util.h"
 #include "topology/fat_tree.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace corropt;
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
   bench::print_header("Figure 5",
                       "Bidirectionality of corruption vs congestion losses "
                       "(one week)");
 
   const topology::Topology topo = topology::build_fat_tree(16);
   analysis::StudyConfig config;
-  config.days = 7;
+  config.days = bench::days_or(args, 7);
   config.epoch = 3 * common::kHour;
   config.corrupting_link_fraction = 0.04;
-  
   config.seed = 6;
   analysis::MeasurementStudy study(topo, config);
 
-  struct Tally {
-    double corruption = 0.0, congestion = 0.0, packets = 0.0;
-  };
-  std::vector<Tally> per_direction(topo.direction_count());
-  study.run([&](const telemetry::PollSample& s) {
-    Tally& tally = per_direction[s.direction.index()];
-    tally.corruption += static_cast<double>(s.corruption_drops);
-    tally.congestion += static_cast<double>(s.congestion_drops);
-    tally.packets += static_cast<double>(s.packets);
-  });
+  analysis::DirectionTotalsAccumulator acc(topo.direction_count());
+  common::ThreadPool pool(args.threads);
+  study.run(acc, &pool);
 
   std::vector<double> corruption_up(topo.link_count(), 0.0);
   std::vector<double> corruption_down(topo.link_count(), 0.0);
@@ -47,15 +43,23 @@ int main() {
                                            topology::LinkDirection::kUp);
     const auto down = topology::direction_id(link.id,
                                              topology::LinkDirection::kDown);
-    const Tally& u = per_direction[up.index()];
-    const Tally& d = per_direction[down.index()];
-    if (u.packets > 0.0) {
-      corruption_up[link.id.index()] = u.corruption / u.packets;
-      congestion_up[link.id.index()] = u.congestion / u.packets;
+    const auto& u = acc[up];
+    const auto& d = acc[down];
+    if (u.packets > 0) {
+      corruption_up[link.id.index()] =
+          static_cast<double>(u.corruption_drops) /
+          static_cast<double>(u.packets);
+      congestion_up[link.id.index()] =
+          static_cast<double>(u.congestion_drops) /
+          static_cast<double>(u.packets);
     }
-    if (d.packets > 0.0) {
-      corruption_down[link.id.index()] = d.corruption / d.packets;
-      congestion_down[link.id.index()] = d.congestion / d.packets;
+    if (d.packets > 0) {
+      corruption_down[link.id.index()] =
+          static_cast<double>(d.corruption_drops) /
+          static_cast<double>(d.packets);
+      congestion_down[link.id.index()] =
+          static_cast<double>(d.congestion_drops) /
+          static_cast<double>(d.packets);
     }
   }
 
@@ -76,6 +80,15 @@ int main() {
               corruption.bidirectional_fraction());
   std::printf("csv,fig5,congestion,%.4f\n",
               congestion.bidirectional_fraction());
+  bench::write_study_metrics_json(
+      args.json_path("fig05"), "fig05", "bench_fig05_asymmetry",
+      args.threads,
+      {{"corruption",
+        {{"lossy_links", static_cast<double>(corruption.lossy_links)},
+         {"bidirectional_fraction", corruption.bidirectional_fraction()}}},
+       {"congestion",
+        {{"lossy_links", static_cast<double>(congestion.lossy_links)},
+         {"bidirectional_fraction", congestion.bidirectional_fraction()}}}});
 
   std::printf("\n(a) bidirectional corrupting links (rate up vs down)\n");
   for (std::size_t i = 0;

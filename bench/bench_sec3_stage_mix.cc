@@ -9,21 +9,29 @@
 #include <vector>
 
 #include "analysis/measurement_study.h"
+#include "analysis/study_accumulators.h"
 #include "bench_util.h"
+#include "common/thread_pool.h"
+#include "study_util.h"
 #include "topology/fat_tree.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace corropt;
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
   bench::print_header("Section 3 (stage mix)",
                       "Fraction of links lossy per topology stage");
 
   const topology::Topology topo = topology::build_fat_tree(16);
   analysis::StudyConfig config;
-  config.days = 7;
+  config.days = bench::days_or(args, 7);
   config.epoch = 3 * common::kHour;
   config.corrupting_link_fraction = 0.03;
   config.seed = 12;
   analysis::MeasurementStudy study(topo, config);
+
+  analysis::DirectionTotalsAccumulator acc(topo.direction_count());
+  common::ThreadPool pool(args.threads);
+  study.run(acc, &pool);
 
   struct StageTally {
     std::size_t links = 0;
@@ -31,28 +39,25 @@ int main() {
     std::size_t congested = 0;
   };
   std::vector<StageTally> stages(static_cast<std::size_t>(topo.top_level()));
-  std::vector<double> corr(topo.link_count(), 0.0);
-  std::vector<double> cong(topo.link_count(), 0.0);
-  std::vector<double> pkts(topo.link_count(), 0.0);
-  study.run([&](const telemetry::PollSample& s) {
-    const auto link = topology::link_of(s.direction);
-    corr[link.index()] += static_cast<double>(s.corruption_drops);
-    cong[link.index()] += static_cast<double>(s.congestion_drops);
-    pkts[link.index()] += static_cast<double>(s.packets);
-  });
   for (const topology::Link& link : topo.links()) {
+    std::uint64_t corruption = 0, congestion = 0, packets = 0;
+    for (topology::LinkDirection dir :
+         {topology::LinkDirection::kUp, topology::LinkDirection::kDown}) {
+      const auto& totals = acc[topology::direction_id(link.id, dir)];
+      corruption += totals.corruption_drops;
+      congestion += totals.congestion_drops;
+      packets += totals.packets;
+    }
     const int stage = topo.switch_at(link.lower).level;
     StageTally& tally = stages[static_cast<std::size_t>(stage)];
     ++tally.links;
-    if (pkts[link.id.index()] == 0.0) continue;
-    if (corr[link.id.index()] / pkts[link.id.index()] >= 1e-8) {
-      ++tally.corrupting;
-    }
-    if (cong[link.id.index()] / pkts[link.id.index()] >= 1e-8) {
-      ++tally.congested;
-    }
+    if (packets == 0) continue;
+    const auto pkts = static_cast<double>(packets);
+    if (static_cast<double>(corruption) / pkts >= 1e-8) ++tally.corrupting;
+    if (static_cast<double>(congestion) / pkts >= 1e-8) ++tally.congested;
   }
 
+  std::vector<bench::StudyScenario> rows;
   std::printf("%-18s %8s %16s %16s\n", "stage", "links", "corrupting",
               "congested");
   const char* names[] = {"ToR <-> Agg", "Agg <-> Spine"};
@@ -64,7 +69,17 @@ int main() {
     std::printf("csv,sec3_stage,%zu,%.4f,%.4f\n", s,
                 static_cast<double>(stages[s].corrupting) / stages[s].links,
                 static_cast<double>(stages[s].congested) / stages[s].links);
+    rows.push_back(
+        {"stage_" + std::to_string(s),
+         {{"links", static_cast<double>(stages[s].links)},
+          {"corrupting_fraction",
+           static_cast<double>(stages[s].corrupting) / stages[s].links},
+          {"congested_fraction",
+           static_cast<double>(stages[s].congested) / stages[s].links}}});
   }
+  bench::write_study_metrics_json(args.json_path("sec3_stage"), "sec3_stage",
+                                  "bench_sec3_stage_mix", args.threads,
+                                  rows);
   std::printf(
       "\npaper: corruption shows no stage bias (independent of cable\n"
       "length and switch type); congestion does — here it concentrates on\n"

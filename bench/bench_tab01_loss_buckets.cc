@@ -3,44 +3,40 @@
 // in [1e-8, 1e-5) and only 0.22% reach 1e-3+, while corruption puts 12.67%
 // of its links at 1e-3+.
 
+#include <algorithm>
 #include <cstdio>
-#include <unordered_map>
 #include <vector>
 
 #include "analysis/measurement_study.h"
+#include "analysis/study_accumulators.h"
 #include "bench_util.h"
+#include "common/thread_pool.h"
 #include "stats/histogram.h"
+#include "study_util.h"
 #include "topology/fat_tree.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace corropt;
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
   bench::print_header("Table 1",
                       "Distribution of links with corruption and congestion "
                       "loss per loss bucket (one week, normalized)");
 
   const topology::Topology topo = topology::build_fat_tree(16);
   analysis::StudyConfig config;
-  config.days = 7;
+  config.days = bench::days_or(args, 7);
   config.epoch = common::kHour;
   config.corrupting_link_fraction = 0.03;
-  
   config.seed = 2;
   analysis::MeasurementStudy study(topo, config);
 
   // Aggregate per-link weekly loss rates (drops / packets over the week,
-  // worse direction), exactly how the study buckets links.
-  struct Tally {
-    std::uint64_t packets = 0;
-    std::uint64_t corruption = 0;
-    std::uint64_t congestion = 0;
-  };
-  std::vector<Tally> per_direction(topo.direction_count());
-  study.run([&](const telemetry::PollSample& s) {
-    Tally& tally = per_direction[s.direction.index()];
-    tally.packets += s.packets;
-    tally.corruption += s.corruption_drops;
-    tally.congestion += s.congestion_drops;
-  });
+  // worse direction), exactly how the study buckets links. Links outside
+  // the loss-capable subset aggregate to rate 0, below the histogram's
+  // lowest edge — identical to scanning the whole fabric.
+  analysis::DirectionTotalsAccumulator acc(topo.direction_count());
+  common::ThreadPool pool(args.threads);
+  study.run(acc, &pool);
 
   stats::LossBucketHistogram corruption_buckets =
       stats::LossBucketHistogram::table1();
@@ -51,15 +47,14 @@ int main() {
     double worst_congestion = 0.0;
     for (topology::LinkDirection dir :
          {topology::LinkDirection::kUp, topology::LinkDirection::kDown}) {
-      const Tally& tally =
-          per_direction[topology::direction_id(link.id, dir).index()];
-      if (tally.packets == 0) continue;
-      worst_corruption =
-          std::max(worst_corruption, static_cast<double>(tally.corruption) /
-                                         static_cast<double>(tally.packets));
-      worst_congestion =
-          std::max(worst_congestion, static_cast<double>(tally.congestion) /
-                                         static_cast<double>(tally.packets));
+      const auto& totals = acc[topology::direction_id(link.id, dir)];
+      if (totals.packets == 0) continue;
+      worst_corruption = std::max(
+          worst_corruption, static_cast<double>(totals.corruption_drops) /
+                                static_cast<double>(totals.packets));
+      worst_congestion = std::max(
+          worst_congestion, static_cast<double>(totals.congestion_drops) /
+                                static_cast<double>(totals.packets));
     }
     corruption_buckets.add(worst_corruption);
     congestion_buckets.add(worst_congestion);
@@ -67,6 +62,7 @@ int main() {
 
   const auto corruption_norm = corruption_buckets.normalized();
   const auto congestion_norm = congestion_buckets.normalized();
+  std::vector<bench::StudyScenario> rows;
   std::printf("%-18s %20s %20s\n", "loss bucket", "links w. corruption",
               "links w. congestion");
   const double paper_corruption[4] = {47.23, 18.43, 21.66, 12.67};
@@ -78,7 +74,13 @@ int main() {
                 paper_corruption[b], paper_congestion[b]);
     std::printf("csv,tab1,%zu,%.4f,%.4f\n", b, corruption_norm[b],
                 congestion_norm[b]);
+    rows.push_back({"bucket_" + std::to_string(b),
+                    {{"corruption_fraction", corruption_norm[b]},
+                     {"congestion_fraction", congestion_norm[b]}}});
   }
+  bench::write_study_metrics_json(args.json_path("tab01"), "tab01",
+                                  "bench_tab01_loss_buckets", args.threads,
+                                  rows);
   std::printf("%-18s %19.2f%% %19.2f%%\n", "total", 100.0, 100.0);
   std::printf("\ncounted links: %zu corrupting, %zu congested\n",
               corruption_buckets.total(), congestion_buckets.total());

@@ -84,6 +84,18 @@ inline int run_gbench_with_json(int argc, char** argv, const char* exhibit) {
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
 
+  // An empty capture means the reporter saw no iteration runs (filter
+  // matched nothing, or gbench changed its run types). Writing a
+  // document with "scenarios": [] would look like a successful run to
+  // downstream tooling, so refuse instead.
+  if (reporter.runs().empty()) {
+    std::fprintf(stderr,
+                 "%s: no benchmark runs captured; refusing to write an "
+                 "empty BENCH_%s.json\n",
+                 argv[0], exhibit);
+    return 1;
+  }
+
   const std::string path = json_dir + "/BENCH_" + exhibit + ".json";
   std::ofstream out(path);
   common::JsonWriter json(out);

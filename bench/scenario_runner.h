@@ -15,7 +15,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -85,6 +87,32 @@ class ScenarioRunner {
   // has finished.
   [[nodiscard]] std::vector<ScenarioResult> run(
       const std::vector<ScenarioJob>& jobs);
+
+  // Generic fan-out on the runner's pool: invokes make(0) .. make(count
+  // - 1) across the workers and returns the results in index order.
+  // Lets non-simulation sweeps — e.g. the measurement-study benches
+  // constructing one study per DCN — run as independent jobs under the
+  // same pool and determinism conventions as run().
+  template <typename F>
+  [[nodiscard]] auto map(std::size_t count, F&& make)
+      -> std::vector<std::invoke_result_t<F&, std::size_t>> {
+    using R = std::invoke_result_t<F&, std::size_t>;
+    std::vector<std::optional<R>> slots(count);
+    common::parallel_for_each(pool_, count,
+                              [&](std::size_t i) { slots[i].emplace(make(i)); });
+    std::vector<R> results;
+    results.reserve(count);
+    for (std::optional<R>& slot : slots) {
+      results.push_back(std::move(*slot));
+    }
+    return results;
+  }
+
+  // The underlying pool, for work that shards below job granularity
+  // (MeasurementStudy::run_many tiles). Submitting from inside a job is
+  // a deadlock risk — the pool has no work stealing; fan out from the
+  // caller instead.
+  [[nodiscard]] common::ThreadPool& pool() { return pool_; }
 
  private:
   common::ThreadPool pool_;

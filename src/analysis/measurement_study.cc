@@ -34,25 +34,83 @@ MeasurementStudy::MeasurementStudy(const topology::Topology& topo,
                                state_.link_corruption_rate(affected));
     }
   }
+
+  // Per-sample poll keys live on their own stream: one splitmix64 hop
+  // away from the construction seed, so adding or removing construction
+  // draws never shifts the telemetry.
+  poll_seed_ = common::CounterRng(config_.seed, 0x706f6c6cULL /*"poll"*/,
+                                  0)();
+
+  all_dirs_.resize(topo.direction_count());
+  loss_capable_.assign(topo.direction_count(), 0);
+  for (std::size_t i = 0; i < topo.direction_count(); ++i) {
+    const common::DirectionId dir(
+        static_cast<common::DirectionId::underlying_type>(i));
+    all_dirs_[i] = dir.value();
+    const bool corrupts = state_.direction(dir).corruption_rate > 0.0;
+    const bool congests = congestion_.can_ever_congest(dir);
+    if (corrupts || congests) {
+      loss_capable_[i] = 1;
+      lossy_dirs_.push_back(dir.value());
+    }
+  }
+
+  if (config_.sink != nullptr && config_.sink->metrics != nullptr) {
+    synth_timer_ = config_.sink->metrics->timer("study.synthesize_s");
+    merge_timer_ = config_.sink->metrics->timer("study.merge_s");
+  }
+}
+
+std::vector<MeasurementStudy::Tile> MeasurementStudy::plan_tiles(
+    bool lossy_only) const {
+  const std::size_t domain_size = domain(lossy_only).size();
+  const SimTime end = config_.days * common::kDay;
+  const std::size_t dir_chunk = std::max<std::size_t>(
+      1, config_.directions_per_tile);
+  const SimTime t_chunk =
+      config_.epochs_per_tile == 0
+          ? end
+          : static_cast<SimTime>(config_.epochs_per_tile) * config_.epoch;
+
+  std::vector<Tile> tiles;
+  for (std::size_t d = 0; d < domain_size; d += dir_chunk) {
+    for (SimTime t = 0; t < end; t += t_chunk) {
+      Tile tile;
+      tile.dir_begin = d;
+      tile.dir_end = std::min(domain_size, d + dir_chunk);
+      tile.t_begin = t;
+      tile.t_end = std::min(end, t + t_chunk);
+      tiles.push_back(tile);
+    }
+  }
+  return tiles;
+}
+
+telemetry::PollSample MeasurementStudy::sample(common::DirectionId dir,
+                                               SimTime t) const {
+  telemetry::DirectionLoad load;
+  load.utilization = congestion_.utilization(dir, t);
+  load.congestion_rate = congestion_.loss_rate(dir, load.utilization, t);
+  return telemetry::sample_direction_keyed(state_, dir, t, config_.epoch,
+                                           load, poll_seed_);
 }
 
 void MeasurementStudy::run(
-    const std::function<void(const telemetry::PollSample&)>& visit) {
-  telemetry::PollingMonitor monitor(state_, rng_);
-  const telemetry::LoadProvider load =
-      [this](common::DirectionId dir, SimTime t) {
-        telemetry::DirectionLoad out;
-        out.utilization = congestion_.utilization(dir, t);
-        out.congestion_rate = congestion_.loss_rate(dir, out.utilization, t);
-        return out;
-      };
-  const SimTime end = config_.days * common::kDay;
-  for (SimTime t = 0; t < end; t += config_.epoch) {
-    for (const telemetry::PollSample& sample :
-         monitor.poll(t, config_.epoch, load)) {
-      visit(sample);
-    }
-  }
+    const std::function<void(const telemetry::PollSample&)>& visit) const {
+  // The visitor is an accumulator whose partials feed it directly; run()
+  // without a pool executes tiles in order, so the visitor sees the
+  // documented direction-major sample order.
+  struct VisitorAccumulator {
+    const std::function<void(const telemetry::PollSample&)>* visit;
+    struct Partial {
+      const std::function<void(const telemetry::PollSample&)>* visit;
+      void add(const telemetry::PollSample& s) { (*visit)(s); }
+    };
+    [[nodiscard]] Partial make_partial() const { return Partial{visit}; }
+    void merge(Partial&) {}
+  };
+  VisitorAccumulator acc{&visit};
+  run(acc, nullptr);
 }
 
 }  // namespace corropt::analysis

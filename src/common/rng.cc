@@ -137,6 +137,75 @@ std::size_t Rng::weighted_index(std::span<const double> weights) {
   return weights.size() - 1;  // Guard against rounding.
 }
 
+namespace {
+
+// The splitmix64 output function alone (no state advance).
+std::uint64_t splitmix64_finalize(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+CounterRng::CounterRng(std::uint64_t seed, std::uint64_t stream,
+                       std::uint64_t counter) {
+  // Three finalizer rounds, folding in one key word per round: a change
+  // in any word of (seed, stream, counter) reseats the whole starting
+  // point, so adjacent directions/epochs land on unrelated subsequences.
+  std::uint64_t h = splitmix64_finalize(seed ^ 0x6c62272e07bb0142ULL);
+  h = splitmix64_finalize(h ^ stream);
+  h = splitmix64_finalize(h ^ counter);
+  x_ = h;
+}
+
+CounterRng::result_type CounterRng::operator()() {
+  x_ += 0x9e3779b97f4a7c15ULL;
+  return splitmix64_finalize(x_);
+}
+
+double CounterRng::uniform() {
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double CounterRng::uniform(double lo, double hi) {
+  return lo + (hi - lo) * uniform();
+}
+
+bool CounterRng::bernoulli(double p) { return uniform() < p; }
+
+double CounterRng::normal() {
+  double u, v, s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  return u * std::sqrt(-2.0 * std::log(s) / s);
+}
+
+double CounterRng::normal(double mean, double stddev) {
+  return mean + stddev * normal();
+}
+
+std::uint64_t CounterRng::poisson(double mean) {
+  assert(mean >= 0.0);
+  if (mean == 0.0) return 0;
+  if (mean > 64.0) {
+    const double draw = normal(mean, std::sqrt(mean));
+    return draw <= 0.0 ? 0 : static_cast<std::uint64_t>(draw + 0.5);
+  }
+  // Knuth's method.
+  const double limit = std::exp(-mean);
+  std::uint64_t count = 0;
+  double product = uniform();
+  while (product > limit) {
+    ++count;
+    product *= uniform();
+  }
+  return count;
+}
+
 std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
                                                          std::size_t k) {
   assert(k <= n);

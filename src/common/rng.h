@@ -72,4 +72,51 @@ class Rng {
   double cached_normal_ = 0.0;
 };
 
+// Counter-based generator for shard-parallel synthesis.
+//
+// Rng is a sequential stream: every draw depends on how many draws came
+// before it, so splitting work across threads perturbs the output unless
+// the iteration order is frozen. CounterRng is keyed instead: the triple
+// (seed, stream, counter) — e.g. (study seed, direction id, epoch start)
+// — fully determines the values drawn, so any sample of a sharded
+// computation is independently computable in any order on any thread.
+// The key is hashed through three rounds of the splitmix64 finalizer
+// (the same mixer bench::derive_seed uses) and draws then walk the
+// splitmix64 sequence from that point, which keeps distinct keys on
+// statistically unrelated subsequences.
+//
+// The distribution helpers use the same algorithms as Rng (53-bit
+// uniform, Marsaglia polar normal, Knuth/normal-approximation Poisson)
+// but are not sequence-compatible with it; code that depends on Rng's
+// historical draw sequence is unaffected by this class.
+class CounterRng {
+ public:
+  using result_type = std::uint64_t;
+
+  CounterRng(std::uint64_t seed, std::uint64_t stream,
+             std::uint64_t counter);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()();
+
+  // Uniform double in [0, 1).
+  double uniform();
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  // Bernoulli trial with success probability p (clamped to [0, 1]).
+  bool bernoulli(double p);
+  // Standard normal via Marsaglia polar method (no cached second value:
+  // keyed draws are cheap and statelessness keeps samples independent).
+  double normal();
+  double normal(double mean, double stddev);
+  // Poisson with the given mean (>= 0); exact for small means, normal
+  // approximation above 64 — the same split Rng::poisson uses.
+  std::uint64_t poisson(double mean);
+
+ private:
+  std::uint64_t x_ = 0;
+};
+
 }  // namespace corropt::common

@@ -85,6 +85,13 @@ double CongestionModel::stable_noise(DirectionId dir, SimTime t,
   return static_cast<double>(h >> 11) * 0x1.0p-53;
 }
 
+double CongestionModel::utilization_upper_bound(DirectionId dir) const {
+  double u = params_.base_utilization + params_.diurnal_amplitude +
+             params_.utilization_noise;
+  if (is_hot(dir)) u += params_.hotspot_extra_utilization;
+  return std::clamp(u, 0.02, 0.98);
+}
+
 double CongestionModel::utilization(DirectionId dir, SimTime t) const {
   const double day_fraction =
       static_cast<double>(t % common::kDay) / static_cast<double>(common::kDay);

@@ -83,6 +83,20 @@ class CongestionModel {
     return hot_direction_[dir.index()];
   }
 
+  // Closed-form upper bound on utilization(dir, t) over all t: base +
+  // full diurnal swing + full noise swing (+ hotspot boost), clamped the
+  // same way utilization() clamps. Exact because sin and the stable
+  // noise are both bounded by 1 in magnitude.
+  [[nodiscard]] double utilization_upper_bound(DirectionId dir) const;
+
+  // True when the direction can ever cross the loss knee. loss_rate()
+  // returns 0 whenever utilization <= knee, so a direction whose bound
+  // stays at or below the knee provably never loses a packet to
+  // congestion — the measurement study skips its draws entirely.
+  [[nodiscard]] bool can_ever_congest(DirectionId dir) const {
+    return utilization_upper_bound(dir) > params_.knee_utilization;
+  }
+
  private:
   // Hash-derived stable per-(direction, epoch) uniform in [0, 1).
   [[nodiscard]] double stable_noise(DirectionId dir, SimTime t,

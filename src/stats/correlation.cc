@@ -42,6 +42,15 @@ void PearsonAccumulator::add(double x, double y) {
   sxy_ += x * y;
 }
 
+void PearsonAccumulator::merge(const PearsonAccumulator& other) {
+  n_ += other.n_;
+  sx_ += other.sx_;
+  sy_ += other.sy_;
+  sxx_ += other.sxx_;
+  syy_ += other.syy_;
+  sxy_ += other.sxy_;
+}
+
 double PearsonAccumulator::correlation() const {
   if (n_ < 2) return 0.0;
   const auto n = static_cast<double>(n_);

@@ -26,6 +26,10 @@ namespace corropt::stats {
 class PearsonAccumulator {
  public:
   void add(double x, double y);
+  // Combines another accumulator's samples into this one, as if its
+  // add() calls had happened here; lets sharded studies merge split
+  // per-link series.
+  void merge(const PearsonAccumulator& other);
   [[nodiscard]] std::size_t count() const { return n_; }
   // 0 when degenerate (fewer than 2 points or zero variance).
   [[nodiscard]] double correlation() const;

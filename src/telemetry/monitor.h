@@ -64,14 +64,32 @@ struct DirectionLoad {
 using LoadProvider =
     std::function<DirectionLoad(DirectionId, SimTime epoch_start)>;
 
+// Packet budget of one 15-minute poll interval at line rate: ~1.4 Mpps
+// scaled down 100x to keep counter arithmetic cheap while preserving
+// loss-rate resolution down to 1e-9.
+inline constexpr double kDefaultPacketsPerPoll = 1.25e7;
+
+// Synthesizes one direction's poll sample purely from its inputs: the
+// counter deltas are drawn from a CounterRng keyed on (poll_seed,
+// direction, epoch_start), so any sample of a study window is computable
+// independently, in any order, on any thread, with bit-identical results
+// (DESIGN.md §9). Unlike PollingMonitor::poll_direction this does not
+// advance the cumulative counters in `state`. Offered packets scale with
+// the epoch length (a 1-hour epoch carries 4x the traffic of a 15-minute
+// poll); directions with zero corruption and zero congestion skip the
+// Poisson machinery entirely.
+[[nodiscard]] PollSample sample_direction_keyed(
+    const NetworkState& state, DirectionId dir, SimTime epoch_start,
+    SimDuration epoch, const DirectionLoad& load, std::uint64_t poll_seed,
+    double packets_per_poll_at_line_rate = kDefaultPacketsPerPoll);
+
 class PollingMonitor {
  public:
   // `packets_per_epoch_at_line_rate` converts utilization into a packet
-  // count; the default corresponds to ~1.4 Mpps at line rate for 15
-  // minutes, scaled down 100x to keep counter arithmetic cheap while
-  // preserving loss-rate resolution down to 1e-9.
+  // count per 15-minute poll interval (see kDefaultPacketsPerPoll).
   PollingMonitor(NetworkState& state, common::Rng& rng,
-                 double packets_per_epoch_at_line_rate = 1.25e7);
+                 double packets_per_epoch_at_line_rate =
+                     kDefaultPacketsPerPoll);
 
   // Advances every direction by one epoch and returns the samples.
   // Disabled links carry no traffic and report zero counters but their
@@ -79,9 +97,13 @@ class PollingMonitor {
   std::vector<PollSample> poll(SimTime epoch_start, SimDuration epoch,
                                const LoadProvider& load);
 
-  // Polls a single direction (used by focused case-study benches).
+  // Polls a single direction (used by focused case-study benches and the
+  // mitigation simulation, which samples at the 15-minute cadence).
+  // `epoch` scales the offered packet count relative to the 15-minute
+  // poll interval.
   PollSample poll_direction(DirectionId dir, SimTime epoch_start,
-                            const DirectionLoad& load);
+                            const DirectionLoad& load,
+                            SimDuration epoch = common::kPollInterval);
 
   // Attaches observability: "telemetry.polls" counts direction samples,
   // "telemetry.poll_cycles" full fabric sweeps. Pass nullptr to detach.

@@ -123,8 +123,13 @@ std::string pack_effects(const std::vector<faults::DirectionEffect>& effects) {
   return out.str();
 }
 
+// Splits on `sep`, preserving empty fields — including a trailing one,
+// so "1:2:" is three fields and a row with an empty final column fails
+// its shape/number checks instead of silently shifting. An empty input
+// has no fields at all (the packers emit "" for empty lists).
 std::vector<std::string> split(const std::string& s, char sep) {
   std::vector<std::string> parts;
+  if (s.empty()) return parts;
   std::string current;
   for (char c : s) {
     if (c == sep) {
@@ -134,7 +139,7 @@ std::vector<std::string> split(const std::string& s, char sep) {
       current.push_back(c);
     }
   }
-  if (!current.empty()) parts.push_back(current);
+  parts.push_back(current);
   return parts;
 }
 

@@ -252,6 +252,82 @@ TEST(Rng, ForkProducesIndependentStream) {
   EXPECT_LT(same, 2);
 }
 
+TEST(CounterRng, SameKeySameSequence) {
+  CounterRng a(1, 2, 3), b(1, 2, 3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(CounterRng, KeyComponentsAreDisjoint) {
+  // Every (seed, stream, counter) key must open an effectively distinct
+  // stream: across a grid of nearby keys — the adjacent-key pattern the
+  // measurement study produces — no two first draws may collide, and
+  // flipping any single component must change the output.
+  std::set<std::uint64_t> first_draws;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    for (std::uint64_t stream = 0; stream < 8; ++stream) {
+      for (std::uint64_t counter = 0; counter < 64; ++counter) {
+        first_draws.insert(CounterRng(seed, stream, counter)());
+      }
+    }
+  }
+  EXPECT_EQ(first_draws.size(), 8u * 8u * 64u);
+  const std::uint64_t base = CounterRng(9, 9, 9)();
+  EXPECT_NE(CounterRng(10, 9, 9)(), base);
+  EXPECT_NE(CounterRng(9, 10, 9)(), base);
+  EXPECT_NE(CounterRng(9, 9, 10)(), base);
+}
+
+TEST(CounterRng, UniformInUnitInterval) {
+  CounterRng rng(7, 0, 0);
+  double sum = 0.0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.01);
+}
+
+TEST(CounterRng, NormalMoments) {
+  CounterRng rng(17, 1, 0);
+  double sum = 0.0, sumsq = 0.0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = rng.normal(2.0, 3.0);
+    sum += x;
+    sumsq += x * x;
+  }
+  const double mean = sum / kDraws;
+  EXPECT_NEAR(mean, 2.0, 0.05);
+  EXPECT_NEAR(std::sqrt(sumsq / kDraws - mean * mean), 3.0, 0.05);
+}
+
+TEST(CounterRng, PoissonMoments) {
+  // Covers both sampling paths: Knuth (mean <= 64) and the normal
+  // approximation above it.
+  for (double mean : {0.5, 5.0, 200.0}) {
+    CounterRng rng(29, 2, static_cast<std::uint64_t>(mean * 10));
+    double sum = 0.0, sumsq = 0.0;
+    constexpr int kDraws = 20000;
+    for (int i = 0; i < kDraws; ++i) {
+      const auto x = static_cast<double>(rng.poisson(mean));
+      sum += x;
+      sumsq += x * x;
+    }
+    const double m = sum / kDraws;
+    EXPECT_NEAR(m, mean, mean * 0.05 + 0.05);
+    // Poisson variance equals its mean.
+    EXPECT_NEAR(sumsq / kDraws - m * m, mean, mean * 0.10 + 0.10);
+  }
+}
+
+TEST(CounterRng, PoissonZeroMean) {
+  CounterRng rng(31, 0, 0);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
 TEST(Csv, WritesSimpleRow) {
   std::ostringstream out;
   CsvWriter csv(out);

@@ -127,5 +127,24 @@ TEST(TraceCsv, SkipsMalformedRowsWithoutDying) {
   EXPECT_EQ(events[1].fault.effects.size(), 2u);
 }
 
+TEST(TraceCsv, TrailingEmptyFieldsAreMalformedNotTruncated) {
+  // Regression: split() used to drop a trailing empty field, so an
+  // effect written as "10:8.0:0:0:" parsed as four columns and the row
+  // died on the shape check while "8;" silently became one link. Both
+  // now fail their own parse (empty numeric field) and only those rows
+  // are skipped.
+  std::stringstream buffer(
+      "time_s,root_cause,links,fixing_actions,effects\n"
+      "100,0,5,0,10:8.0:0:0:\n"
+      "200,0,8;,0,16:8.0:0:0:0.001\n"
+      "300,0,6,0;,12:8.0:0:0:0.001\n"
+      "400,0,7,0,14:8.0:0:0:0.002\n");
+  const auto events = read_trace(buffer);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].time, 400);
+  ASSERT_EQ(events[0].fault.effects.size(), 1u);
+  EXPECT_DOUBLE_EQ(events[0].fault.effects[0].corruption_rate, 0.002);
+}
+
 }  // namespace
 }  // namespace corropt::trace
