@@ -6,51 +6,72 @@
 // out instead lets technicians verify with test traffic, so failed
 // repairs never touch applications. This bench quantifies that benefit:
 // same trace, same CorrOpt disabling, different verification policy, at
-// three first-attempt repair accuracies.
+// three first-attempt repair accuracies. The six scenarios run across
+// the ScenarioRunner and land in BENCH_ext_costout.json.
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace corropt;
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
   bench::print_header("Section 8 extension",
                       "Cost-out verification vs enable-and-observe "
                       "(large DCN, c=75%, 90 days)");
 
+  const common::SimDuration duration = args.duration_or(90 * common::kDay);
+  const double accuracies[] = {0.5, 0.8, 0.95};
+  struct Policy {
+    const char* tag;
+    sim::RepairVerification verification;
+  };
+  const Policy policies[] = {
+      {"enable-observe", sim::RepairVerification::kEnableAndObserve},
+      {"cost-out", sim::RepairVerification::kTestTraffic},
+  };
+
+  std::vector<bench::ScenarioJob> jobs;
+  std::uint64_t pair = 0;  // One trace/sim seed pair per accuracy level.
+  for (const double accuracy : accuracies) {
+    const std::uint64_t trace_seed = bench::derive_seed(404, pair);
+    const std::uint64_t sim_seed = bench::derive_seed(409, pair);
+    ++pair;
+    for (const Policy& policy : policies) {
+      bench::ScenarioJob job = bench::make_dcn_job(
+          std::string(policy.tag) + "/acc=" + std::to_string(accuracy),
+          bench::Dcn::kLarge, core::CheckerMode::kCorrOpt, 0.75,
+          bench::kFaultsPerLinkPerDay, duration, trace_seed, sim_seed,
+          accuracy);
+      job.tags.emplace_back("verification", policy.tag);
+      job.tags.emplace_back("accuracy", std::to_string(accuracy));
+      job.config.verification = policy.verification;
+      jobs.push_back(std::move(job));
+    }
+  }
+  bench::set_collect_obs(jobs, args.obs);
+  const auto results = bench::ScenarioRunner(args.threads).run(jobs);
+
   std::printf("%16s %18s %18s %14s %14s\n", "repair accuracy",
               "enable+observe", "cost-out", "reduction", "redetections");
-  for (const double accuracy : {0.5, 0.8, 0.95}) {
-    double penalty[2] = {};
-    std::size_t redetections = 0;
-    const sim::RepairVerification policies[2] = {
-        sim::RepairVerification::kEnableAndObserve,
-        sim::RepairVerification::kTestTraffic};
-    for (int p = 0; p < 2; ++p) {
-      topology::Topology topo = topology::build_large_dcn();
-      const auto events = bench::make_trace(
-          topo, bench::kFaultsPerLinkPerDay, 90 * common::kDay, 404);
-      sim::ScenarioConfig config;
-      config.mode = core::CheckerMode::kCorrOpt;
-      config.capacity_fraction = 0.75;
-      config.duration = 90 * common::kDay;
-      config.seed = 9;
-      config.outcome.first_attempt_success = accuracy;
-      config.verification = policies[p];
-      sim::MitigationSimulation sim(topo, config);
-      const sim::SimulationMetrics metrics = sim.run(events);
-      penalty[p] = metrics.integrated_penalty;
-      if (p == 0) redetections = metrics.redetections;
-    }
+  std::size_t job = 0;
+  for (const double accuracy : accuracies) {
+    const double observe = results[job].metrics.integrated_penalty;
+    const std::size_t redetections = results[job].metrics.redetections;
+    const double costout = results[job + 1].metrics.integrated_penalty;
+    job += 2;
     std::printf("%15.0f%% %18.3e %18.3e %13.1f%% %14zu\n", accuracy * 100.0,
-                penalty[0], penalty[1],
-                penalty[0] == 0.0
-                    ? 0.0
-                    : 100.0 * (penalty[0] - penalty[1]) / penalty[0],
+                observe, costout,
+                observe == 0.0 ? 0.0
+                               : 100.0 * (observe - costout) / observe,
                 redetections);
-    std::printf("csv,ext_costout,%.2f,%.6e,%.6e,%zu\n", accuracy,
-                penalty[0], penalty[1], redetections);
+    std::printf("csv,ext_costout,%.2f,%.6e,%.6e,%zu\n", accuracy, observe,
+                costout, redetections);
   }
+  bench::write_metrics_json(args.json_path("ext_costout"), "ext_costout",
+                            "bench_ext_costout", args.threads, results);
+  bench::write_obs_outputs(args, "ext_costout", "bench_ext_costout", results);
   std::printf(
       "\nthe lower the repair accuracy, the more live-traffic exposure\n"
       "the enable-and-observe cycle costs; cost-out verification removes\n"

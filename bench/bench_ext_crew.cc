@@ -3,43 +3,59 @@
 // (Section 5.2). This bench bounds the technician crew and sweeps its
 // size on the large DCN's quarter of faults: too few technicians let the
 // backlog stretch resolution times, which holds capacity down and keeps
-// blocked corrupting links active longer.
+// blocked corrupting links active longer. All crew sizes replay the
+// identical trace; the six scenarios land in BENCH_ext_crew.json.
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace corropt;
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
   bench::print_header("Crew planning (Section 5.2 queue model)",
                       "Technician crew size vs ticket resolution and "
                       "corruption penalty (large DCN, c=75%, 90 days)");
 
+  const common::SimDuration duration = args.duration_or(90 * common::kDay);
+  // One shared trace/sim seed pair: the sweep's only variable is the
+  // crew bound.
+  const std::uint64_t trace_seed = bench::derive_seed(808, 0);
+  const std::uint64_t sim_seed = bench::derive_seed(813, 0);
+  const int crews[] = {1, 4, 8, 16, 24, 0};
+
+  std::vector<bench::ScenarioJob> jobs;
+  for (const int technicians : crews) {
+    const std::string crew =
+        technicians == 0 ? "unbounded" : std::to_string(technicians);
+    bench::ScenarioJob job = bench::make_dcn_job(
+        "crew=" + crew, bench::Dcn::kLarge, core::CheckerMode::kCorrOpt, 0.75,
+        bench::kFaultsPerLinkPerDay, duration, trace_seed, sim_seed);
+    job.tags.emplace_back("technicians", crew);
+    job.config.queue.technicians = technicians;
+    jobs.push_back(std::move(job));
+  }
+  bench::set_collect_obs(jobs, args.obs);
+  const auto results = bench::ScenarioRunner(args.threads).run(jobs);
+
   std::printf("%14s %18s %16s %12s\n", "technicians", "mean resolution",
               "penalty", "tickets");
-  for (const int technicians : {1, 4, 8, 16, 24, 0}) {
-    topology::Topology topo = topology::build_large_dcn();
-    const auto events = bench::make_trace(
-        topo, bench::kFaultsPerLinkPerDay, 90 * common::kDay, 808);
-    sim::ScenarioConfig config;
-    config.mode = core::CheckerMode::kCorrOpt;
-    config.capacity_fraction = 0.75;
-    config.duration = 90 * common::kDay;
-    config.seed = 13;
-    config.queue.technicians = technicians;
-    sim::MitigationSimulation sim(topo, config);
-    const sim::SimulationMetrics metrics = sim.run(events);
-    char crew[16];
-    std::snprintf(crew, sizeof(crew), "%s",
-                  technicians == 0 ? "unbounded" : std::to_string(technicians)
-                                                        .c_str());
-    std::printf("%14s %15.1f d %16.3e %12zu\n", crew,
+  for (std::size_t c = 0; c < std::size(crews); ++c) {
+    const sim::SimulationMetrics& metrics = results[c].metrics;
+    const std::string crew =
+        crews[c] == 0 ? "unbounded" : std::to_string(crews[c]);
+    std::printf("%14s %15.1f d %16.3e %12zu\n", crew.c_str(),
                 metrics.mean_ticket_resolution_s / common::kDay,
                 metrics.integrated_penalty, metrics.tickets_opened);
-    std::printf("csv,ext_crew,%d,%.4f,%.6e,%zu\n", technicians,
+    std::printf("csv,ext_crew,%d,%.4f,%.6e,%zu\n", crews[c],
                 metrics.mean_ticket_resolution_s / common::kDay,
                 metrics.integrated_penalty, metrics.tickets_opened);
   }
+  bench::write_metrics_json(args.json_path("ext_crew"), "ext_crew",
+                            "bench_ext_crew", args.threads, results);
+  bench::write_obs_outputs(args, "ext_crew", "bench_ext_crew", results);
   std::printf(
       "\nthe paper's flat two-day service is the unbounded-crew limit; a\n"
       "small crew turns the FIFO queue into the bottleneck, exactly the\n"

@@ -4,49 +4,71 @@
 // minutes feed a windowed, hysteretic detector whose verdicts drive the
 // controller — and quantifies what the modeling shortcut costs: the
 // extra penalty equals the loss accrued between fault onset and the
-// detector's verdict.
+// detector's verdict. Both scenarios replay the identical trace and land
+// in BENCH_ext_detection.json.
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace corropt;
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
   bench::print_header("Closed-loop detection",
                       "Oracle vs 15-minute polled detection (medium DCN, "
                       "c=75%, 90 days)");
 
+  const common::SimDuration duration = args.duration_or(90 * common::kDay);
+  // Identical trace and sim seed for both modes: the delta is purely the
+  // detection model.
+  const std::uint64_t trace_seed = bench::derive_seed(707, 0);
+  const std::uint64_t sim_seed = bench::derive_seed(712, 0);
+  struct Mode {
+    const char* tag;
+    sim::DetectionMode detection;
+  };
+  const Mode modes[] = {
+      {"oracle", sim::DetectionMode::kOracle},
+      {"polled", sim::DetectionMode::kPolled},
+  };
+
+  std::vector<bench::ScenarioJob> jobs;
+  for (const Mode& mode : modes) {
+    bench::ScenarioJob job = bench::make_dcn_job(
+        mode.tag, bench::Dcn::kMedium, core::CheckerMode::kCorrOpt, 0.75,
+        bench::kFaultsPerLinkPerDay, duration, trace_seed, sim_seed);
+    job.tags.emplace_back("detection", mode.tag);
+    job.config.detection = mode.detection;
+    jobs.push_back(std::move(job));
+  }
+  bench::set_collect_obs(jobs, args.obs);
+  const auto results = bench::ScenarioRunner(args.threads).run(jobs);
+
   std::printf("%-24s %16s %14s %16s\n", "detection", "penalty",
               "detections", "mean latency");
-  for (const auto mode :
-       {sim::DetectionMode::kOracle, sim::DetectionMode::kPolled}) {
-    topology::Topology topo = topology::build_medium_dcn();
-    const auto events = bench::make_trace(
-        topo, bench::kFaultsPerLinkPerDay, 90 * common::kDay, 707);
-    sim::ScenarioConfig config;
-    config.mode = core::CheckerMode::kCorrOpt;
-    config.capacity_fraction = 0.75;
-    config.duration = 90 * common::kDay;
-    config.seed = 12;
-    config.detection = mode;
-    sim::MitigationSimulation sim(topo, config);
-    const sim::SimulationMetrics metrics = sim.run(events);
-    if (mode == sim::DetectionMode::kOracle) {
-      std::printf("%-24s %16.3e %14zu %16s\n", "oracle (paper model)",
-                  metrics.integrated_penalty,
-                  metrics.controller.corruption_reports, "0");
-      std::printf("csv,ext_detection,oracle,%.6e,%zu,0\n",
-                  metrics.integrated_penalty,
-                  metrics.controller.corruption_reports);
-    } else {
-      std::printf("%-24s %16.3e %14zu %13.0f min\n", "polled (closed loop)",
-                  metrics.integrated_penalty, metrics.polled_detections,
-                  metrics.mean_detection_latency_s / 60.0);
-      std::printf("csv,ext_detection,polled,%.6e,%zu,%.1f\n",
-                  metrics.integrated_penalty, metrics.polled_detections,
-                  metrics.mean_detection_latency_s);
-    }
+  {
+    const sim::SimulationMetrics& metrics = results[0].metrics;
+    std::printf("%-24s %16.3e %14zu %16s\n", "oracle (paper model)",
+                metrics.integrated_penalty,
+                metrics.controller.corruption_reports, "0");
+    std::printf("csv,ext_detection,oracle,%.6e,%zu,0\n",
+                metrics.integrated_penalty,
+                metrics.controller.corruption_reports);
   }
+  {
+    const sim::SimulationMetrics& metrics = results[1].metrics;
+    std::printf("%-24s %16.3e %14zu %13.0f min\n", "polled (closed loop)",
+                metrics.integrated_penalty, metrics.polled_detections,
+                metrics.mean_detection_latency_s / 60.0);
+    std::printf("csv,ext_detection,polled,%.6e,%zu,%.1f\n",
+                metrics.integrated_penalty, metrics.polled_detections,
+                metrics.mean_detection_latency_s);
+  }
+  bench::write_metrics_json(args.json_path("ext_detection"), "ext_detection",
+                            "bench_ext_detection", args.threads, results);
+  bench::write_obs_outputs(args, "ext_detection", "bench_ext_detection",
+                           results);
   std::printf(
       "\nthe polled pipeline adds roughly (detection latency x loss rate)\n"
       "per fault: material in absolute terms, negligible against the\n"

@@ -1,0 +1,62 @@
+#include "sim/capacity_sampler.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace corropt::sim {
+
+CapacitySampler::CapacitySampler(SimContext& ctx) : ctx_(ctx) {
+  ctx_.queue.set_handler(
+      EventType::kCapacitySample,
+      [this](const Event& event) { handle_sample(event); });
+}
+
+void CapacitySampler::start() {
+  samples_ = 0;
+  Event sample;
+  sample.due = 0;
+  sample.type = EventType::kCapacitySample;
+  ctx_.queue.schedule(sample);
+}
+
+void CapacitySampler::handle_sample(const Event& event) {
+  SimulationMetrics& metrics = *ctx_.metrics;
+  const SimTime t = event.due;
+  const std::vector<std::uint64_t> counts = ctx_.paths.up_paths();
+  double worst = 1.0;
+  double sum = 0.0;
+  const auto& tors = ctx_.topo.tors();
+  for (common::SwitchId tor : tors) {
+    const double design =
+        static_cast<double>(ctx_.paths.design_paths()[tor.index()]);
+    const double fraction =
+        design == 0.0 ? 1.0
+                      : static_cast<double>(counts[tor.index()]) / design;
+    worst = std::min(worst, fraction);
+    sum += fraction;
+  }
+  metrics.worst_tor_fraction.push_back({t, worst});
+  metrics.disabled_links.push_back(
+      {t, static_cast<double>(ctx_.topo.link_count() -
+                              ctx_.topo.enabled_link_count())});
+  if (!tors.empty()) {
+    // Accumulate for the time-averaged mean; finalized at end of run.
+    metrics.mean_tor_fraction += sum / static_cast<double>(tors.size());
+  }
+  ++samples_;
+
+  Event next = event;
+  next.due = t + ctx_.config.capacity_sample_interval;
+  ctx_.queue.schedule(next);
+}
+
+void CapacitySampler::finalize(SimulationMetrics& metrics) const {
+  if (samples_ > 0) {
+    metrics.mean_tor_fraction /= static_cast<double>(samples_);
+  } else {
+    metrics.mean_tor_fraction = 1.0;
+  }
+}
+
+}  // namespace corropt::sim

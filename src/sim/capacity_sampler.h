@@ -1,0 +1,35 @@
+// CapacitySampler: periodic ToR path-fraction sampling.
+//
+// Schedules a kCapacitySample event every capacity_sample_interval;
+// each sample records the minimum-over-ToRs fraction of available
+// spine paths, the disabled-link count, and accumulates the
+// mean-over-ToRs fraction for the Section 7.3 time average. Samples
+// fire *before* any other event due at the same instant (stratum 0),
+// preserving the legacy loop's sample-then-dispatch order.
+#pragma once
+
+#include "sim/sim_context.h"
+
+namespace corropt::sim {
+
+class CapacitySampler {
+ public:
+  // Registers the kCapacitySample handler on the kernel.
+  explicit CapacitySampler(SimContext& ctx);
+
+  // Schedules the first sample (time 0); call once per run before the
+  // event loop starts. Resets the sample counter.
+  void start();
+
+  // Converts the accumulated per-sample means into the time-averaged
+  // mean ToR fraction; call at end of run.
+  void finalize(SimulationMetrics& metrics) const;
+
+ private:
+  void handle_sample(const Event& event);
+
+  SimContext& ctx_;
+  std::size_t samples_ = 0;
+};
+
+}  // namespace corropt::sim

@@ -1,0 +1,143 @@
+#include "sim/detection_pipeline.h"
+
+#include <vector>
+
+#include "obs/journal.h"
+
+namespace corropt::sim {
+
+DetectionPipeline::DetectionPipeline(SimContext& ctx)
+    : ctx_(ctx),
+      monitor_(ctx.state, ctx.rng),
+      detector_(ctx.topo, ctx.config.detector) {
+  ctx_.queue.set_handler(EventType::kPoll,
+                         [this](const Event& event) { handle_poll(event); });
+}
+
+void DetectionPipeline::attach_sink(obs::Sink* sink) {
+  monitor_.set_sink(sink);
+  detector_.set_sink(sink);
+}
+
+void DetectionPipeline::start() {
+  if (ctx_.config.detection != DetectionMode::kPolled) return;
+  Event poll;
+  poll.due = common::kPollInterval;
+  poll.type = EventType::kPoll;
+  ctx_.queue.schedule(poll);
+}
+
+void DetectionPipeline::on_fault(const faults::Fault& fault) {
+  SimulationMetrics& metrics = *ctx_.metrics;
+  for (common::LinkId link : fault.links) {
+    const double rate = ctx_.state.link_corruption_rate(link);
+    if (rate < core::kLossyThreshold) continue;
+    if (ctx_.config.detection == DetectionMode::kPolled) {
+      // The monitoring pipeline has to notice on its own.
+      pending_detection_.emplace(link, ctx_.clock.now());
+      continue;
+    }
+    const bool disabled = ctx_.controller.on_corruption_detected(link, rate);
+    if (!disabled && ctx_.topo.is_enabled(link)) {
+      ++metrics.undisabled_detections;
+    }
+  }
+}
+
+void DetectionPipeline::expect_redetection(common::LinkId link, SimTime now) {
+  detector_.reset(link);
+  pending_detection_[link] = now;
+}
+
+void DetectionPipeline::on_repair_success(common::LinkId link) {
+  detector_.reset(link);
+  pending_detection_.erase(link);
+}
+
+void DetectionPipeline::reset(common::LinkId link) { detector_.reset(link); }
+
+void DetectionPipeline::finalize(SimulationMetrics& metrics) const {
+  if (metrics.polled_detections > 0) {
+    metrics.mean_detection_latency_s /=
+        static_cast<double>(metrics.polled_detections);
+  }
+}
+
+void DetectionPipeline::handle_poll(const Event& event) {
+  ctx_.injector.advance(ctx_.clock.now());
+  SimulationMetrics& metrics = *ctx_.metrics;
+  const SimTime now = ctx_.clock.now();
+
+  // Suspect set: links with an active fault, plus links the pipeline or
+  // controller still believes corrupting (to observe their recovery).
+  std::vector<common::LinkId> suspects;
+  auto add = [this, &suspects](common::LinkId link) {
+    char& mark = ctx_.link_mark[link.index()];
+    if (mark != 0) return;
+    mark = 1;
+    suspects.push_back(link);
+  };
+  for (const faults::Fault* fault : ctx_.injector.active_faults()) {
+    for (common::LinkId link : fault->links) add(link);
+  }
+  for (const auto& [link, entry] : ctx_.controller.corruption().entries()) {
+    add(link);
+  }
+  for (const auto& [link, onset] : pending_detection_) add(link);
+  for (common::LinkId link : suspects) ctx_.link_mark[link.index()] = 0;
+
+  telemetry::DirectionLoad load;
+  load.utilization = ctx_.config.poll_utilization;
+  for (common::LinkId link : suspects) {
+    for (const topology::LinkDirection dir :
+         {topology::LinkDirection::kUp, topology::LinkDirection::kDown}) {
+      const auto direction = topology::direction_id(link, dir);
+      const telemetry::PollSample sample =
+          monitor_.poll_direction(direction, now, load);
+      const auto verdict = detector_.observe(sample);
+      if (!verdict.has_value()) continue;
+      if (verdict->kind == telemetry::DetectionEvent::Kind::kCorrupting) {
+        ++metrics.polled_detections;
+        std::uint64_t latency_s = 0;
+        const auto pending = pending_detection_.find(verdict->link);
+        if (pending != pending_detection_.end()) {
+          metrics.mean_detection_latency_s +=
+              static_cast<double>(now - pending->second);
+          latency_s = static_cast<std::uint64_t>(now - pending->second);
+          pending_detection_.erase(pending);
+        }
+        {
+          obs::Event journal_event;
+          journal_event.kind = obs::EventKind::kPolledDetection;
+          journal_event.link = verdict->link;
+          journal_event.value = verdict->loss_rate;
+          journal_event.detail0 = latency_s;
+          ctx_.emit(journal_event);
+        }
+        const bool disabled = ctx_.controller.on_corruption_detected(
+            verdict->link, verdict->loss_rate);
+        if (!disabled && ctx_.topo.is_enabled(verdict->link)) {
+          ++metrics.undisabled_detections;
+        }
+      } else {
+        ctx_.controller.on_corruption_cleared(verdict->link);
+      }
+    }
+  }
+
+  // Drop pending entries whose fault disappeared before detection (e.g.
+  // a shared-component repair through a peer's ticket).
+  for (auto it = pending_detection_.begin(); it != pending_detection_.end();) {
+    if (ctx_.injector.faults_on_link(it->first).empty()) {
+      it = pending_detection_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  Event next = event;
+  next.due = event.due + common::kPollInterval;
+  ctx_.queue.schedule(next);
+}
+
+}  // namespace corropt::sim

@@ -1,0 +1,71 @@
+// DetectionPipeline: how the controller learns that links corrupt.
+//
+// Owns the closed-loop monitoring stack (telemetry::PollingMonitor +
+// telemetry::CorruptionDetector) and the pending-detection latency
+// accounting. In kOracle mode fault onsets are forwarded to the
+// controller immediately with exact loss rates (the paper's modeling
+// shortcut); in kPolled mode the component schedules a kPoll event
+// every 15 minutes, polls the suspect set, and feeds detector verdicts
+// to the controller with realistic latency.
+#pragma once
+
+#include <unordered_map>
+
+#include "common/ids.h"
+#include "faults/fault.h"
+#include "sim/sim_context.h"
+#include "telemetry/detector.h"
+#include "telemetry/monitor.h"
+
+namespace corropt::sim {
+
+class DetectionPipeline {
+ public:
+  // Registers the kPoll handler on the kernel.
+  explicit DetectionPipeline(SimContext& ctx);
+
+  // Wires the monitor/detector observability counters. Called by the
+  // composition layer after the controller's sink is attached, so the
+  // registry's registration order (and hence snapshot order) matches
+  // the order counters are first touched: controller, monitor, detector.
+  void attach_sink(obs::Sink* sink);
+
+  // Schedules the first poll cycle (kPolled mode only); call once per
+  // run before the event loop starts.
+  void start();
+
+  // A fault just manifested: every lossy link is either reported to the
+  // controller at once (oracle) or queued for the monitoring pipeline
+  // to notice (polled).
+  void on_fault(const faults::Fault& fault);
+
+  // kEnableAndObserve + polled: a failed repair re-enabled the link, so
+  // the real pipeline has to re-detect it; restart its window state and
+  // start the latency clock.
+  void expect_redetection(common::LinkId link, SimTime now);
+
+  // A repair fully fixed the link: clear the detector window and any
+  // pending-detection entry.
+  void on_repair_success(common::LinkId link);
+
+  // A shared-component repair silenced a peer link (polled mode only
+  // forgets its detector window).
+  void reset(common::LinkId link);
+
+  // Finalizes the mean detection latency; call at end of run.
+  void finalize(SimulationMetrics& metrics) const;
+
+ private:
+  // One 15-minute SNMP cycle: polls the suspect set and feeds the
+  // detector, forwarding verdicts to the controller.
+  void handle_poll(const Event& event);
+
+  SimContext& ctx_;
+  telemetry::PollingMonitor monitor_;
+  telemetry::CorruptionDetector detector_;
+  // Onset time of the oldest unobserved fault per link, for latency
+  // accounting. Links without pending detection are absent.
+  std::unordered_map<common::LinkId, SimTime> pending_detection_;
+};
+
+}  // namespace corropt::sim

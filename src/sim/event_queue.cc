@@ -1,0 +1,43 @@
+#include "sim/event_queue.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace corropt::sim {
+
+void EventQueue::set_handler(EventType type, Handler handler) {
+  handlers_[static_cast<std::size_t>(type)] = std::move(handler);
+}
+
+void EventQueue::schedule(Event event) {
+  heap_.push_back({event, event_stratum(event.type), next_seq_++});
+  std::push_heap(heap_.begin(), heap_.end(), std::greater<>());
+}
+
+const Event& EventQueue::peek() const {
+  assert(!heap_.empty());
+  return heap_.front().event;
+}
+
+Event EventQueue::pop() {
+  assert(!heap_.empty());
+  const Event event = heap_.front().event;
+  std::pop_heap(heap_.begin(), heap_.end(), std::greater<>());
+  heap_.pop_back();
+  return event;
+}
+
+void EventQueue::dispatch(const Event& event) const {
+  const Handler& handler = handlers_[static_cast<std::size_t>(event.type)];
+  assert(handler != nullptr);
+  handler(event);
+}
+
+void Clock::advance_to(SimTime t) {
+  assert(t >= now_);
+  now_ = t;
+  if (sink_ != nullptr) sink_->now = now_;
+}
+
+}  // namespace corropt::sim

@@ -1,9 +1,6 @@
 #include "sim/mitigation_sim.h"
 
-#include <algorithm>
-#include <cassert>
-
-#include "common/logging.h"
+#include "obs/journal.h"
 
 namespace corropt::sim {
 
@@ -28,408 +25,48 @@ MitigationSimulation::MitigationSimulation(topology::Topology& topo,
       state_(topo, telemetry::default_tech()),
       injector_(state_),
       controller_(topo, controller_config(config)),
-      recommender_(state_),
-      queue_(config.queue),
-      technician_(config.technician_follow_probability),
       paths_(topo),
-      constraint_(config.capacity_fraction),
-      monitor_(state_, rng_),
-      detector_(topo, config.detector) {
-  attempts_.assign(topo.link_count(), 0);
-  reseated_.assign(topo.link_count(), 0);
-  link_mark_.assign(topo.link_count(), 0);
+      ctx_{topo,   config_, rng_,   state_,  injector_, controller_,
+           paths_, clock_,  queue_, nullptr, {}},
+      detection_(ctx_),
+      maintenance_(ctx_),
+      repair_(ctx_, detection_, maintenance_),
+      accountant_(ctx_),
+      sampler_(ctx_) {
+  ctx_.link_mark.assign(topo.link_count(), 0);
   for (const auto& [tor, fraction] : config_.tor_overrides) {
     controller_.mutable_constraint().set_tor_fraction(tor, fraction);
-    constraint_.set_tor_fraction(tor, fraction);
   }
+  clock_.attach_sink(config_.sink);
   if (config_.sink != nullptr) {
     controller_.set_sink(config_.sink);
-    monitor_.set_sink(config_.sink);
-    detector_.set_sink(config_.sink);
+    detection_.attach_sink(config_.sink);
   }
+  queue_.set_handler(EventType::kFault,
+                     [this](const Event& event) { handle_fault(event); });
 }
 
-void MitigationSimulation::emit(obs::Event event) {
-  if (config_.sink == nullptr) return;
-  if (event.link.valid() && !event.sw.valid()) {
-    event.sw = topo_->link_at(event.link).lower;
-  }
-  config_.sink->emit(event);
-}
-
-double MitigationSimulation::true_penalty_rate() const {
-  // Ground truth: every enabled corrupting link hurts applications from
-  // fault onset, whether or not the controller knows yet.
-  const core::PenaltyFunction penalty = core::PenaltyFunction::linear();
-  double total = 0.0;
-  for (const faults::Fault* fault : injector_.active_faults()) {
-    for (common::LinkId link : fault->links) {
-      char& mark = link_mark_[link.index()];
-      if (mark != 0) continue;
-      mark = 1;
-      if (!topo_->is_enabled(link)) continue;
-      const double rate = state_.link_corruption_rate(link);
-      if (rate >= core::kLossyThreshold) total += penalty(rate);
-    }
-  }
-  for (const faults::Fault* fault : injector_.active_faults()) {
-    for (common::LinkId link : fault->links) link_mark_[link.index()] = 0;
-  }
-  return total;
-}
-
-void MitigationSimulation::run_poll_cycle(SimulationMetrics& metrics) {
-  // Suspect set: links with an active fault, plus links the pipeline or
-  // controller still believes corrupting (to observe their recovery).
-  std::vector<common::LinkId> suspects;
-  auto add = [this, &suspects](common::LinkId link) {
-    char& mark = link_mark_[link.index()];
-    if (mark != 0) return;
-    mark = 1;
-    suspects.push_back(link);
-  };
-  for (const faults::Fault* fault : injector_.active_faults()) {
-    for (common::LinkId link : fault->links) add(link);
-  }
-  for (const auto& [link, entry] : controller_.corruption().entries()) {
-    add(link);
-  }
-  for (const auto& [link, onset] : pending_detection_) add(link);
-  for (common::LinkId link : suspects) link_mark_[link.index()] = 0;
-
-  telemetry::DirectionLoad load;
-  load.utilization = config_.poll_utilization;
-  for (common::LinkId link : suspects) {
-    for (const topology::LinkDirection dir :
-         {topology::LinkDirection::kUp, topology::LinkDirection::kDown}) {
-      const auto direction = topology::direction_id(link, dir);
-      const telemetry::PollSample sample =
-          monitor_.poll_direction(direction, now_, load);
-      const auto event = detector_.observe(sample);
-      if (!event.has_value()) continue;
-      if (event->kind == telemetry::DetectionEvent::Kind::kCorrupting) {
-        ++metrics.polled_detections;
-        std::uint64_t latency_s = 0;
-        const auto pending = pending_detection_.find(event->link);
-        if (pending != pending_detection_.end()) {
-          metrics.mean_detection_latency_s +=
-              static_cast<double>(now_ - pending->second);
-          latency_s = static_cast<std::uint64_t>(now_ - pending->second);
-          pending_detection_.erase(pending);
-        }
-        {
-          obs::Event journal_event;
-          journal_event.kind = obs::EventKind::kPolledDetection;
-          journal_event.link = event->link;
-          journal_event.value = event->loss_rate;
-          journal_event.detail0 = latency_s;
-          emit(journal_event);
-        }
-        const bool disabled =
-            controller_.on_corruption_detected(event->link, event->loss_rate);
-        if (!disabled && topo_->is_enabled(event->link)) {
-          ++metrics.undisabled_detections;
-        }
-      } else {
-        controller_.on_corruption_cleared(event->link);
-      }
-    }
-  }
-
-  // Drop pending entries whose fault disappeared before detection (e.g.
-  // a shared-component repair through a peer's ticket).
-  for (auto it = pending_detection_.begin();
-       it != pending_detection_.end();) {
-    if (injector_.faults_on_link(it->first).empty()) {
-      it = pending_detection_.erase(it);
-    } else {
-      ++it;
-    }
-  }
-}
-
-void MitigationSimulation::push_repair(PendingRepair repair) {
-  repair_heap_.push_back(repair);
-  std::push_heap(repair_heap_.begin(), repair_heap_.end(),
-                 std::greater<>());
-}
-
-void MitigationSimulation::open_ticket(common::LinkId link, SimTime now) {
-  const int attempt = ++attempts_[link.index()];
-  std::optional<faults::RepairAction> recommendation;
-  std::string rationale;
-  if (config_.issue_recommendations) {
-    const core::Recommendation rec =
-        recommender_.recommend_link(link, reseated_[link.index()] != 0);
-    recommendation = rec.action;
-    rationale = rec.rationale;
-  }
-  const common::TicketId ticket =
-      queue_.open(link, now, attempt, recommendation, std::move(rationale));
-  const SimTime completion = queue_.ticket(ticket).scheduled_completion;
-  ticket_resolution_total_s_ += static_cast<double>(completion - now);
+void MitigationSimulation::handle_fault(const Event&) {
+  const trace::TraceEvent& event = (*events_)[next_event_++];
+  injector_.advance(clock_.now());
+  injector_.inject(event.fault);
+  ++ctx_.metrics->faults_injected;
   {
-    obs::Event event;
-    event.kind = obs::EventKind::kTicketOpened;
-    event.link = link;
-    event.ticket = ticket;
-    event.detail0 = static_cast<std::uint64_t>(attempt);
-    event.detail1 = recommendation.has_value()
-                        ? static_cast<std::uint64_t>(*recommendation) + 1
-                        : 0;
-    emit(event);
-  }
-  push_repair({completion, ticket, link, attempt,
-               PendingRepair::Kind::kRepair});
-  if (config_.model_collateral_maintenance &&
-      topo_->breakout_peers(link).size() > 1) {
-    const SimTime start =
-        std::max(now, completion - config_.maintenance_window);
-    push_repair({start, common::TicketId(), link, attempt,
-                 PendingRepair::Kind::kMaintenanceStart});
-  }
-}
-
-void MitigationSimulation::start_maintenance(common::LinkId link,
-                                             SimulationMetrics& metrics) {
-  ++metrics.maintenance_windows;
-  std::vector<common::LinkId>& taken = collateral_down_[link];
-  for (common::LinkId peer : topo_->breakout_peers(link)) {
-    if (peer == link || !topo_->is_enabled(peer)) continue;
-    topo_->set_enabled(peer, false);
-    taken.push_back(peer);
-  }
-  metrics.collateral_link_seconds +=
-      static_cast<double>(taken.size()) *
-      static_cast<double>(config_.maintenance_window);
-  if (!taken.empty() &&
-      !paths_.feasible(paths_.up_paths(), constraint_)) {
-    ++metrics.maintenance_capacity_violations;
-  }
-  obs::Event event;
-  event.kind = obs::EventKind::kMaintenanceStart;
-  event.link = link;
-  event.detail0 = taken.size();
-  emit(event);
-}
-
-void MitigationSimulation::end_maintenance(common::LinkId link) {
-  const auto it = collateral_down_.find(link);
-  if (it == collateral_down_.end()) return;
-  obs::Event event;
-  event.kind = obs::EventKind::kMaintenanceEnd;
-  event.link = link;
-  event.detail0 = it->second.size();
-  emit(event);
-  for (common::LinkId peer : it->second) {
-    topo_->set_enabled(peer, true);
-  }
-  collateral_down_.erase(it);
-}
-
-bool MitigationSimulation::attempt_repair(const PendingRepair& repair) {
-  const std::vector<common::FaultId> faults =
-      injector_.faults_on_link(repair.link);
-  if (faults.empty()) return true;  // Fixed via a shared-component peer.
-
-  switch (config_.repair_model) {
-    case RepairModelKind::kOutcome: {
-      if (!config_.outcome.attempt_succeeds(repair.attempt, rng_)) {
-        return false;
-      }
-      // The abstract model clears every fault on the link outright.
-      for (common::FaultId fault : faults) injector_.clear(fault);
-      return true;
+    obs::Event journal_event;
+    journal_event.kind = obs::EventKind::kFaultInjected;
+    if (!event.fault.links.empty()) {
+      journal_event.link = event.fault.links.front();
     }
-    case RepairModelKind::kAction: {
-      // The technician first inspects, then follows the ticket or the
-      // legacy sequence, and performs one action per attempt.
-      const faults::Fault* primary = injector_.fault(faults.front());
-      assert(primary != nullptr);
-      std::optional<faults::RepairAction> action =
-          technician_.inspect(primary->cause, rng_);
-      if (!action.has_value()) {
-        const repair::Ticket& ticket = queue_.ticket(repair.ticket);
-        action = technician_.choose_action(ticket.recommendation,
-                                           repair.attempt, rng_);
-      }
-      if (*action == faults::RepairAction::kReseatTransceiver) {
-        reseated_[repair.link.index()] = 1;
-      }
-      for (common::FaultId fault : faults) {
-        injector_.try_repair(fault, *action);
-      }
-      return !state_.link_is_corrupting(repair.link);
-    }
+    journal_event.detail0 = event.fault.links.size();
+    journal_event.detail1 = static_cast<std::uint64_t>(event.fault.cause);
+    ctx_.emit(journal_event);
   }
-  return false;
-}
-
-void MitigationSimulation::handle_failed_repair(common::LinkId link,
-                                                SimulationMetrics& metrics) {
-  switch (config_.verification) {
-    case RepairVerification::kTestTraffic:
-      // Cost-out mode: test traffic shows the link still corrupts; the
-      // link never rejoins routing and a follow-up ticket opens at once.
-      open_ticket(link, now_);
-      ++metrics.tickets_opened;
-      break;
-    case RepairVerification::kEnableAndObserve:
-      // Disable mode: the link is enabled after the visit and live
-      // traffic flows (and corrupts) until monitoring re-detects the
-      // loss — the Figure 12 cycle. In oracle mode the re-detection is a
-      // scheduled event; in polled mode the real pipeline picks it up.
-      topo_->set_enabled(link, true);
-      if (config_.detection == DetectionMode::kPolled) {
-        detector_.reset(link);
-        pending_detection_[link] = now_;
-      } else {
-        push_repair({now_ + config_.redetection_delay, common::TicketId(),
-                     link, attempts_[link.index()],
-                     PendingRepair::Kind::kRedetect});
-      }
-      break;
-  }
-}
-
-void MitigationSimulation::handle_repair(const PendingRepair& repair,
-                                         SimulationMetrics& metrics) {
-  if (repair.kind == PendingRepair::Kind::kRedetect) {
-    // Monitoring caught the still-corrupting link again; the controller
-    // re-disables it (capacity permitting), issuing the next ticket.
-    ++metrics.redetections;
-    const double rate = state_.link_corruption_rate(repair.link);
-    {
-      obs::Event event;
-      event.kind = obs::EventKind::kRedetection;
-      event.link = repair.link;
-      event.value = rate;
-      emit(event);
-    }
-    if (rate >= core::kLossyThreshold) {
-      controller_.on_corruption_detected(repair.link, rate);
-    }
-    return;
-  }
-  if (repair.kind == PendingRepair::Kind::kMaintenanceStart) {
-    start_maintenance(repair.link, metrics);
-    return;
-  }
-
-  // The technician is done: any maintenance window on this link closes
-  // and the healthy siblings come back.
-  end_maintenance(repair.link);
-
-  ++metrics.repair_attempts;
-  const bool first = repair.attempt == 1;
-  if (first) ++metrics.first_attempts;
-
-  // Links whose corruption state the repair may change: shared-component
-  // faults span several links beyond the ticketed one.
-  std::vector<common::LinkId> affected;
-  for (common::FaultId id : injector_.faults_on_link(repair.link)) {
-    const faults::Fault* fault = injector_.fault(id);
-    for (common::LinkId link : fault->links) {
-      char& mark = link_mark_[link.index()];
-      if (mark != 0) continue;
-      mark = 1;
-      affected.push_back(link);
-    }
-  }
-  for (common::LinkId link : affected) link_mark_[link.index()] = 0;
-
-  const bool success = attempt_repair(repair);
-  queue_.close(repair.ticket);
-  {
-    obs::Event event;
-    event.kind = obs::EventKind::kRepairAttempt;
-    event.reason = success ? obs::EventReason::kSucceeded
-                           : obs::EventReason::kFailed;
-    event.link = repair.link;
-    event.ticket = repair.ticket;
-    event.detail0 = static_cast<std::uint64_t>(repair.attempt);
-    emit(event);
-    event.kind = obs::EventKind::kTicketClosed;
-    event.reason = obs::EventReason::kNone;
-    emit(event);
-  }
-  if (success) {
-    if (first) ++metrics.first_attempt_successes;
-    attempts_[repair.link.index()] = 0;
-    reseated_[repair.link.index()] = 0;
-    detector_.reset(repair.link);
-    pending_detection_.erase(repair.link);
-    controller_.on_link_repaired(repair.link);
-  } else {
-    handle_failed_repair(repair.link, metrics);
-  }
-
-  // Refresh the corruption marks of every other link the repair touched:
-  // a shared-component replacement silences peers (which stay disabled
-  // until their own tickets complete, succeeding immediately), and a
-  // partial action-model fix can change an active peer's loss rate.
-  for (common::LinkId link : affected) {
-    if (link == repair.link) continue;
-    const double rate = state_.link_corruption_rate(link);
-    if (rate < core::kLossyThreshold) {
-      controller_.on_corruption_cleared(link);
-      if (config_.detection == DetectionMode::kPolled) {
-        detector_.reset(link);
-      }
-    } else if (config_.detection == DetectionMode::kOracle) {
-      controller_.on_corruption_detected(link, rate);
-    }
-  }
-}
-
-void MitigationSimulation::integrate_until(SimTime t,
-                                           SimulationMetrics& metrics) {
-  assert(t >= now_);
-  if (t == now_) return;
-  const double span = static_cast<double>(t - now_);
-  metrics.integrated_penalty += penalty_rate_ * span;
-
-  // Distribute into hourly bins for ratio time series.
-  SimTime cursor = now_;
-  while (cursor < t) {
-    const SimTime bin_end =
-        (cursor / common::kHour + 1) * common::kHour;
-    const SimTime step = std::min(bin_end, t) - cursor;
-    const auto bin = static_cast<std::size_t>(cursor / common::kHour);
-    if (bin >= metrics.hourly_penalty.size()) {
-      metrics.hourly_penalty.resize(bin + 1, 0.0);
-    }
-    metrics.hourly_penalty[bin] += penalty_rate_ * static_cast<double>(step);
-    cursor += step;
-  }
-  now_ = t;
-  // Keep the journal clock in lockstep with simulation time.
-  if (config_.sink != nullptr) config_.sink->now = now_;
-}
-
-void MitigationSimulation::sample_capacity(SimTime t,
-                                           SimulationMetrics& metrics) {
-  const std::vector<std::uint64_t> counts = paths_.up_paths();
-  double worst = 1.0;
-  double sum = 0.0;
-  const auto& tors = topo_->tors();
-  for (common::SwitchId tor : tors) {
-    const double design =
-        static_cast<double>(paths_.design_paths()[tor.index()]);
-    const double fraction =
-        design == 0.0
-            ? 1.0
-            : static_cast<double>(counts[tor.index()]) / design;
-    worst = std::min(worst, fraction);
-    sum += fraction;
-  }
-  metrics.worst_tor_fraction.push_back({t, worst});
-  metrics.disabled_links.push_back(
-      {t, static_cast<double>(topo_->link_count() -
-                              topo_->enabled_link_count())});
-  if (!tors.empty()) {
-    // Accumulate for the time-averaged mean; finalized in run().
-    metrics.mean_tor_fraction += sum / static_cast<double>(tors.size());
+  detection_.on_fault(event.fault);
+  if (next_event_ < events_->size()) {
+    Event next;
+    next.due = (*events_)[next_event_].time;
+    next.type = EventType::kFault;
+    queue_.schedule(next);
   }
 }
 
@@ -437,145 +74,52 @@ SimulationMetrics MitigationSimulation::run(
     const std::vector<trace::TraceEvent>& events) {
   SimulationMetrics metrics;
   metrics.mean_tor_fraction = 0.0;
-  std::size_t capacity_samples = 0;
+  ctx_.metrics = &metrics;
+  events_ = &events;
+  next_event_ = 0;
 
-  controller_.set_ticket_callback([this, &metrics](common::LinkId link) {
-    open_ticket(link, now_);
-    ++metrics.tickets_opened;
+  controller_.set_ticket_callback([this](common::LinkId link) {
+    repair_.open_ticket(link, clock_.now());
   });
 
-  std::size_t next_event = 0;
-  SimTime next_sample = 0;
-  SimTime next_poll = common::kPollInterval;
+  // Seed the kernel: horizon, periodic sampling, polling (polled mode),
+  // and the first fault of the trace. Event ordering at equal times is
+  // governed by event_stratum(); see event_queue.h.
+  Event end;
+  end.due = config_.duration;
+  end.type = EventType::kEnd;
+  queue_.schedule(end);
+  sampler_.start();
+  detection_.start();
+  if (!events.empty()) {
+    Event fault;
+    fault.due = events.front().time;
+    fault.type = EventType::kFault;
+    queue_.schedule(fault);
+  }
 
-  auto record_penalty = [this, &metrics]() {
-    metrics.penalty_series.push_back({now_, penalty_rate_});
-    obs::Event event;
-    event.kind = obs::EventKind::kPenaltySample;
-    event.value = penalty_rate_;
-    emit(event);
-  };
-  record_penalty();
-
+  accountant_.record_sample();  // The t = 0 baseline point.
   while (true) {
-    // Earliest of: next fault onset, next repair completion, next poll
-    // cycle, end of run.
-    SimTime next_time = config_.duration;
-    int kind = 0;  // 0 = end, 1 = fault, 2 = repair, 3 = poll
-    if (next_event < events.size() &&
-        events[next_event].time < next_time) {
-      next_time = events[next_event].time;
-      kind = 1;
+    const Event event = queue_.pop();
+    accountant_.integrate_until(event.due);
+    if (event.type == EventType::kEnd) break;
+    queue_.dispatch(event);
+    if (event.type != EventType::kCapacitySample) {
+      // Every state-changing event re-derives the ground-truth penalty
+      // rate and records a step-function point (Figure 14).
+      accountant_.refresh();
+      accountant_.record_sample();
     }
-    if (!repair_heap_.empty() && repair_heap_.front().due <= next_time) {
-      next_time = repair_heap_.front().due;
-      kind = 2;
-    }
-    if (config_.detection == DetectionMode::kPolled &&
-        next_poll <= next_time) {
-      next_time = next_poll;
-      kind = 3;
-    }
-
-    // Capacity samples strictly before the next event.
-    while (next_sample <= next_time) {
-      integrate_until(next_sample, metrics);
-      sample_capacity(next_sample, metrics);
-      ++capacity_samples;
-      next_sample += config_.capacity_sample_interval;
-    }
-    integrate_until(next_time, metrics);
-    if (kind == 0) break;
-
-    if (kind == 1) {
-      const trace::TraceEvent& event = events[next_event++];
-      injector_.advance(now_);
-      injector_.inject(event.fault);
-      ++metrics.faults_injected;
-      {
-        obs::Event journal_event;
-        journal_event.kind = obs::EventKind::kFaultInjected;
-        if (!event.fault.links.empty()) {
-          journal_event.link = event.fault.links.front();
-        }
-        journal_event.detail0 = event.fault.links.size();
-        journal_event.detail1 =
-            static_cast<std::uint64_t>(event.fault.cause);
-        emit(journal_event);
-      }
-      for (common::LinkId link : event.fault.links) {
-        const double rate = state_.link_corruption_rate(link);
-        if (rate < core::kLossyThreshold) continue;
-        if (config_.detection == DetectionMode::kPolled) {
-          // The monitoring pipeline has to notice on its own.
-          pending_detection_.emplace(link, now_);
-          continue;
-        }
-        const bool disabled = controller_.on_corruption_detected(link, rate);
-        if (!disabled && topo_->is_enabled(link)) {
-          ++metrics.undisabled_detections;
-        }
-      }
-    } else if (kind == 2) {
-      const PendingRepair repair = repair_heap_.front();
-      std::pop_heap(repair_heap_.begin(), repair_heap_.end(),
-                    std::greater<>());
-      repair_heap_.pop_back();
-      handle_repair(repair, metrics);
-    } else {
-      injector_.advance(now_);
-      run_poll_cycle(metrics);
-      next_poll += common::kPollInterval;
-    }
-    penalty_rate_ = true_penalty_rate();
-    record_penalty();
   }
 
-  if (capacity_samples > 0) {
-    metrics.mean_tor_fraction /= static_cast<double>(capacity_samples);
-  } else {
-    metrics.mean_tor_fraction = 1.0;
-  }
-  if (metrics.tickets_opened > 0) {
-    metrics.mean_ticket_resolution_s =
-        ticket_resolution_total_s_ /
-        static_cast<double>(metrics.tickets_opened);
-  }
-  if (metrics.polled_detections > 0) {
-    metrics.mean_detection_latency_s /=
-        static_cast<double>(metrics.polled_detections);
-  }
+  sampler_.finalize(metrics);
+  repair_.finalize(metrics);
+  detection_.finalize(metrics);
   metrics.controller = controller_.stats();
-  publish_metrics(metrics);
+  publish_metrics(config_.sink, metrics);
+  ctx_.metrics = nullptr;
+  events_ = nullptr;
   return metrics;
-}
-
-void MitigationSimulation::publish_metrics(const SimulationMetrics& metrics) {
-  if (config_.sink == nullptr || config_.sink->metrics == nullptr) return;
-  obs::MetricsRegistry& reg = *config_.sink->metrics;
-  reg.counter("sim.faults_injected").add(metrics.faults_injected);
-  reg.counter("sim.tickets_opened").add(metrics.tickets_opened);
-  reg.counter("sim.repair_attempts").add(metrics.repair_attempts);
-  reg.counter("sim.first_attempts").add(metrics.first_attempts);
-  reg.counter("sim.first_attempt_successes")
-      .add(metrics.first_attempt_successes);
-  reg.counter("sim.redetections").add(metrics.redetections);
-  reg.counter("sim.polled_detections").add(metrics.polled_detections);
-  reg.counter("sim.undisabled_detections").add(metrics.undisabled_detections);
-  reg.counter("sim.maintenance_windows").add(metrics.maintenance_windows);
-  reg.counter("sim.maintenance_capacity_violations")
-      .add(metrics.maintenance_capacity_violations);
-  reg.counter("sim.penalty_samples").add(metrics.penalty_series.size());
-  reg.gauge("sim.integrated_penalty").set(metrics.integrated_penalty);
-  reg.gauge("sim.mean_tor_fraction").set(metrics.mean_tor_fraction);
-  reg.gauge("sim.first_attempt_accuracy")
-      .set(metrics.first_attempt_accuracy());
-  reg.gauge("sim.mean_ticket_resolution_s")
-      .set(metrics.mean_ticket_resolution_s);
-  reg.gauge("sim.mean_detection_latency_s")
-      .set(metrics.mean_detection_latency_s);
-  reg.gauge("sim.collateral_link_seconds")
-      .set(metrics.collateral_link_seconds);
 }
 
 }  // namespace corropt::sim

@@ -6,179 +6,36 @@
 // corruption penalty over time plus the capacity each ToR retains. This
 // is the harness behind Figures 14-19 and the combined-impact numbers of
 // Section 7.3.
+//
+// Since the kernel refactor (DESIGN.md §10) this class is a thin
+// composition layer: it owns the shared domain state (SimContext), the
+// discrete-event kernel (EventQueue + Clock), and the components that
+// register handlers on it — DetectionPipeline, RepairPipeline,
+// MaintenanceModel, PenaltyAccountant, CapacitySampler. The public
+// ScenarioConfig / SimulationMetrics / run() surface is unchanged.
 #pragma once
 
-#include <cstdint>
-#include <optional>
-#include <unordered_map>
-#include <utility>
+#include <cstddef>
 #include <vector>
 
 #include "common/rng.h"
-#include "common/time.h"
 #include "corropt/controller.h"
 #include "corropt/path_counter.h"
-#include "corropt/recommendation.h"
 #include "faults/injector.h"
-#include "obs/sink.h"
-#include "telemetry/detector.h"
-#include "telemetry/monitor.h"
-#include "repair/technician.h"
-#include "repair/ticket.h"
+#include "sim/capacity_sampler.h"
+#include "sim/detection_pipeline.h"
+#include "sim/event_queue.h"
+#include "sim/maintenance_model.h"
+#include "sim/metrics.h"
+#include "sim/penalty_accountant.h"
+#include "sim/repair_pipeline.h"
+#include "sim/scenario_config.h"
+#include "sim/sim_context.h"
 #include "telemetry/network_state.h"
 #include "topology/topology.h"
 #include "trace/trace.h"
 
 namespace corropt::sim {
-
-using common::SimDuration;
-using common::SimTime;
-
-enum class RepairModelKind {
-  // The paper's simulation model: attempt 1 succeeds with probability p,
-  // attempt 2 always succeeds.
-  kOutcome,
-  // The deployment model: a technician performs a concrete action chosen
-  // from the ticket recommendation / visual inspection / legacy sequence,
-  // and success depends on whether the action fixes the injected fault.
-  kAction,
-};
-
-// How the controller learns that a link corrupts.
-enum class DetectionMode {
-  // The controller is notified the instant a fault manifests, with the
-  // exact loss rate — the modeling shortcut the paper's simulations use
-  // (detection latency is minutes against repair times of days).
-  kOracle,
-  // Closed loop: an SNMP monitor polls the counters of suspect links
-  // every 15 minutes and a CorruptionDetector with windowing and
-  // hysteresis raises/clears alerts; the controller sees estimated
-  // rates after a detection delay.
-  kPolled,
-};
-
-// How a completed repair is verified (Section 8, "Removing traffic
-// instead of disabling links").
-enum class RepairVerification {
-  // Today's practice: the link is enabled after the repair attempt and
-  // real traffic flows. A failed repair corrupts live traffic until the
-  // monitoring pipeline re-detects it (Figure 12's enable/disable
-  // cycles).
-  kEnableAndObserve,
-  // The proposed extension: the corrupting link is costed out of routing
-  // rather than disabled, so test traffic can confirm the repair without
-  // exposing applications; failed repairs are re-ticketed immediately.
-  kTestTraffic,
-};
-
-struct ScenarioConfig {
-  core::CheckerMode mode = core::CheckerMode::kCorrOpt;
-  double capacity_fraction = 0.75;
-  core::OptimizerConfig optimizer;
-
-  RepairModelKind repair_model = RepairModelKind::kOutcome;
-  repair::OutcomeModel outcome;
-  // Action-model parameters.
-  double technician_follow_probability = 1.0;
-  bool issue_recommendations = true;
-
-  // Repair verification policy and, for kEnableAndObserve, how long a
-  // failed repair corrupts live traffic before monitoring re-detects it
-  // (one detection window of 15-minute polls).
-  RepairVerification verification = RepairVerification::kTestTraffic;
-  SimDuration redetection_delay = common::kHour;
-
-  // Detection pipeline. In kPolled mode, `detector` parameters govern
-  // windowing/hysteresis and `poll_utilization` the offered load the
-  // estimates are computed from.
-  DetectionMode detection = DetectionMode::kOracle;
-  telemetry::DetectorParams detector;
-  double poll_utilization = 0.3;
-
-  // Section 8 extension: model the collateral impact of repair. When a
-  // breakout-bundle link is repaired, its healthy siblings go down for a
-  // maintenance window ending at the ticket's completion. Combine with
-  // ControllerConfig::account_collateral_repair (exposed below) to have
-  // the fast checker budget for it.
-  bool model_collateral_maintenance = false;
-  SimDuration maintenance_window = 2 * common::kHour;
-  bool account_collateral_repair = false;
-
-  repair::TicketQueueParams queue;
-
-  std::uint64_t seed = 1;
-  // Interval at which ToR path fractions are sampled for the capacity
-  // figures; the penalty series is exact (event-driven) regardless.
-  SimDuration capacity_sample_interval = common::kHour;
-  SimDuration duration = 90 * common::kDay;
-
-  // Per-ToR capacity overrides (hot racks with stricter requirements);
-  // applied on top of capacity_fraction. Only the CorrOpt/fast-checker
-  // modes can honour per-ToR values — the switch-local baseline has a
-  // single global sc, which is exactly its Section 5.1 limitation.
-  std::vector<std::pair<common::SwitchId, double>> tor_overrides;
-
-  // Optional observability sink (DESIGN.md §8), shared with the
-  // controller/optimizer/telemetry stack. The event loop advances
-  // `sink->now` as simulation time progresses, journals every decision,
-  // and folds SimulationMetrics into the registry at end of run. The
-  // sink is write-only: attaching one changes no simulation outcome.
-  // Not owned; must outlive the simulation.
-  obs::Sink* sink = nullptr;
-};
-
-struct TimePoint {
-  SimTime time = 0;
-  double value = 0.0;
-};
-
-struct SimulationMetrics {
-  // Penalty per second immediately after each event (step function).
-  std::vector<TimePoint> penalty_series;
-  // Integral of penalty rate over the run.
-  double integrated_penalty = 0.0;
-  // Integral binned by hour (for the optimizer-gain ratio of Figure 18).
-  std::vector<double> hourly_penalty;
-
-  // Sampled minimum-over-ToRs fraction of available spine paths.
-  std::vector<TimePoint> worst_tor_fraction;
-  // Sampled count of administratively disabled links (same timestamps).
-  std::vector<TimePoint> disabled_links;
-  // Time-averaged mean-over-ToRs fraction (Section 7.3).
-  double mean_tor_fraction = 1.0;
-
-  // Repair bookkeeping.
-  std::size_t faults_injected = 0;
-  std::size_t tickets_opened = 0;
-  std::size_t repair_attempts = 0;
-  std::size_t first_attempt_successes = 0;
-  std::size_t first_attempts = 0;
-  // kEnableAndObserve only: failed repairs re-detected after exposing
-  // live traffic to corruption.
-  std::size_t redetections = 0;
-  // kPolled only: detections raised by the monitoring pipeline and the
-  // mean latency from fault onset to detection.
-  std::size_t polled_detections = 0;
-  double mean_detection_latency_s = 0.0;
-  // Mean time from ticket open to technician completion (includes any
-  // crew backlog when ScenarioConfig::queue bounds the technicians).
-  double mean_ticket_resolution_s = 0.0;
-  // Collateral-maintenance modeling only.
-  std::size_t maintenance_windows = 0;
-  std::size_t maintenance_capacity_violations = 0;
-  double collateral_link_seconds = 0.0;
-  // Corrupting links that could never be disabled during the run.
-  std::size_t undisabled_detections = 0;
-
-  core::Controller::Stats controller;
-
-  [[nodiscard]] double first_attempt_accuracy() const {
-    return first_attempts == 0
-               ? 0.0
-               : static_cast<double>(first_attempt_successes) /
-                     static_cast<double>(first_attempts);
-  }
-};
 
 class MitigationSimulation {
  public:
@@ -190,48 +47,9 @@ class MitigationSimulation {
   SimulationMetrics run(const std::vector<trace::TraceEvent>& events);
 
  private:
-  struct PendingRepair {
-    enum class Kind {
-      // A technician visit completes.
-      kRepair,
-      // kEnableAndObserve: monitoring re-detects a failed repair.
-      kRedetect,
-      // Collateral modeling: the maintenance window opens and the
-      // link's healthy breakout siblings go down.
-      kMaintenanceStart,
-    };
-    SimTime due;
-    common::TicketId ticket;
-    common::LinkId link;
-    int attempt;
-    Kind kind = Kind::kRepair;
-    bool operator>(const PendingRepair& other) const {
-      return due > other.due;
-    }
-  };
-
-  void open_ticket(common::LinkId link, SimTime now);
-  void handle_repair(const PendingRepair& repair, SimulationMetrics& metrics);
-  void handle_failed_repair(common::LinkId link, SimulationMetrics& metrics);
-  void start_maintenance(common::LinkId link, SimulationMetrics& metrics);
-  void end_maintenance(common::LinkId link);
-  // True when the repair attempt eliminated all corruption on the link.
-  bool attempt_repair(const PendingRepair& repair);
-  void integrate_until(SimTime t, SimulationMetrics& metrics);
-  void sample_capacity(SimTime t, SimulationMetrics& metrics);
-  void push_repair(PendingRepair repair);
-  // Polled-detection mode: polls the suspect set and feeds the detector,
-  // forwarding verdicts to the controller.
-  void run_poll_cycle(SimulationMetrics& metrics);
-  // Ground-truth penalty rate: disabled links accrue nothing, enabled
-  // corrupting links accrue I(f) from fault onset regardless of whether
-  // the controller has noticed yet.
-  [[nodiscard]] double true_penalty_rate() const;
-  // Journals an event (no-op without a sink); link-valid events get the
-  // link's lower switch filled in.
-  void emit(obs::Event event);
-  // Folds the finished run's SimulationMetrics into the sink's registry.
-  void publish_metrics(const SimulationMetrics& metrics);
+  // kFault handler: injects the next trace event and hands the lossy
+  // links to the detection pipeline, then schedules the following fault.
+  void handle_fault(const Event& event);
 
   topology::Topology* topo_;
   ScenarioConfig config_;
@@ -239,39 +57,24 @@ class MitigationSimulation {
   telemetry::NetworkState state_;
   faults::FaultInjector injector_;
   core::Controller controller_;
-  core::RecommendationEngine recommender_;
-  repair::TicketQueue queue_;
-  repair::Technician technician_;
   core::PathCounter paths_;
 
-  // Run state.
-  SimTime now_ = 0;
-  double penalty_rate_ = 0.0;
-  std::vector<PendingRepair> repair_heap_;
-  // Per-link repair attempt counts (reset on success).
-  std::vector<int> attempts_;
-  // Per-link flag: reseat attempted since last success (Algorithm 1's
-  // repair-history input).
-  std::vector<char> reseated_;
-  // Reusable per-link dedup flags for the fault-scan loops (suspect and
-  // affected sets, penalty accounting). Every user restores the bits it
-  // set, so the vector is all-zero between uses; mutable because the
-  // const penalty accounting borrows it as scratch.
-  mutable std::vector<char> link_mark_;
-  // Healthy breakout siblings we took down for each link's maintenance.
-  std::unordered_map<common::LinkId, std::vector<common::LinkId>>
-      collateral_down_;
-  // The capacity constraint mirrored from the controller, for
-  // maintenance-window violation accounting.
-  core::CapacityConstraint constraint_;
-  // Polled-detection pipeline.
-  telemetry::PollingMonitor monitor_;
-  telemetry::CorruptionDetector detector_;
-  // Onset time of the oldest unobserved fault per link, for latency
-  // accounting. Links without pending detection are absent.
-  std::unordered_map<common::LinkId, SimTime> pending_detection_;
-  // Sum of ticket open-to-completion spans, for the crew-planning metric.
-  double ticket_resolution_total_s_ = 0.0;
+  // Kernel. The context references everything above plus the kernel, so
+  // declaration order matters: domain state, kernel, context, components.
+  Clock clock_;
+  EventQueue queue_;
+  SimContext ctx_;
+
+  // Components (handler registration happens in their constructors).
+  DetectionPipeline detection_;
+  MaintenanceModel maintenance_;
+  RepairPipeline repair_;
+  PenaltyAccountant accountant_;
+  CapacitySampler sampler_;
+
+  // Fault-trace feed state for the in-flight run().
+  const std::vector<trace::TraceEvent>* events_ = nullptr;
+  std::size_t next_event_ = 0;
 };
 
 }  // namespace corropt::sim
