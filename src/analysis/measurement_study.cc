@@ -1,6 +1,7 @@
 #include "analysis/measurement_study.h"
 
 #include <algorithm>
+#include <span>
 
 namespace corropt::analysis {
 
@@ -43,11 +44,14 @@ MeasurementStudy::MeasurementStudy(const topology::Topology& topo,
 
   all_dirs_.resize(topo.direction_count());
   loss_capable_.assign(topo.direction_count(), 0);
+  // Streams the SoA corruption-rate array directly; the classification
+  // pass touches every direction once.
+  const std::span<const double> rates = state_.corruption_rates();
   for (std::size_t i = 0; i < topo.direction_count(); ++i) {
     const common::DirectionId dir(
         static_cast<common::DirectionId::underlying_type>(i));
     all_dirs_[i] = dir.value();
-    const bool corrupts = state_.direction(dir).corruption_rate > 0.0;
+    const bool corrupts = rates[i] > 0.0;
     const bool congests = congestion_.can_ever_congest(dir);
     if (corrupts || congests) {
       loss_capable_[i] = 1;

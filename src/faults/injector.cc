@@ -82,7 +82,7 @@ std::vector<const Fault*> FaultInjector::active_faults() const {
 }
 
 void FaultInjector::rebuild_direction(DirectionId dir) {
-  telemetry::DirectionState& d = state_->direction(dir);
+  auto d = state_->direction(dir);
   d.tx_power_dbm = state_->tech().nominal_tx_dbm;
   d.extra_attenuation_db = 0.0;
   double survival = 1.0;  // P(packet survives every active fault).

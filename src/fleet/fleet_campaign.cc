@@ -1,0 +1,146 @@
+#include "fleet/fleet_campaign.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "obs/sink.h"
+#include "sim/mitigation_sim.h"
+
+namespace corropt::fleet {
+
+FleetCampaign::FleetCampaign(FleetSpec spec) : spec_(std::move(spec)) {}
+
+DcResult run_dc(const FleetSpec& fleet, const DcSpec& dc, bool collect_obs) {
+  const auto start = std::chrono::steady_clock::now();
+
+  // Per-DC recipe, mirroring bench::run_job: fresh topology, sequential
+  // trace RNG from the derived trace seed, simulation seeded with the
+  // derived sim seed. A 1-DC fleet therefore reproduces a standalone
+  // MitigationSimulation run bit-for-bit (tests/fleet_test.cc holds the
+  // repo to that).
+  topology::Topology topo = build_dc_topology(dc);
+  common::Rng trace_rng(derive_dc_seed(fleet.seed, dc.key, SeedStream::kTrace));
+  const std::vector<trace::TraceEvent> events =
+      trace::CorruptionTraceGenerator(topo, dc.trace, trace_rng).generate();
+
+  // DC-local observability: nothing is shared across workers, so the
+  // folded snapshot/journal are bit-identical for any pool size.
+  obs::MetricsRegistry registry;
+  obs::EventJournal journal;
+  obs::Sink sink{&registry, &journal, nullptr, 0};
+  sim::ScenarioConfig config = dc.config;
+  config.seed = derive_dc_seed(fleet.seed, dc.key, SeedStream::kSim);
+  const bool collect = collect_obs && config.sink == nullptr;
+  if (collect) config.sink = &sink;
+
+  sim::MitigationSimulation sim(topo, config);
+
+  DcResult result;
+  result.name = dc.name;
+  result.key = dc.key;
+  result.shape = dc.shape;
+  result.link_count = topo.link_count();
+  result.switch_count = topo.switch_count();
+  result.trace_events = events.size();
+  result.capacity_fraction = dc.config.capacity_fraction;
+  result.faults_per_link_per_day = dc.trace.faults_per_link_per_day;
+  result.metrics = sim.run(events);
+  for (const sim::TimePoint& p : result.metrics.worst_tor_fraction) {
+    result.min_worst_tor_fraction =
+        std::min(result.min_worst_tor_fraction, p.value);
+  }
+  if (collect) {
+    result.has_obs = true;
+    result.obs_metrics = registry.snapshot();
+    result.journal = journal.snapshot();
+    result.journal_dropped = journal.dropped();
+  }
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+FleetMetrics merge_results(const std::vector<DcResult>& dcs) {
+  FleetMetrics fleet;
+  fleet.dc_count = dcs.size();
+  if (dcs.empty()) return fleet;
+
+  fleet.min_dc_penalty = dcs.front().metrics.integrated_penalty;
+  double tor_fraction_weighted = 0.0;
+  double resolution_weighted = 0.0;
+  for (const DcResult& dc : dcs) {
+    fleet.total_links += dc.link_count;
+    fleet.total_switches += dc.switch_count;
+    fleet.total_trace_events += dc.trace_events;
+
+    const double penalty = dc.metrics.integrated_penalty;
+    fleet.integrated_penalty += penalty;
+    if (penalty > fleet.max_dc_penalty || fleet.worst_dc.empty()) {
+      fleet.max_dc_penalty = penalty;
+      fleet.worst_dc = dc.name;
+    }
+    fleet.min_dc_penalty = std::min(fleet.min_dc_penalty, penalty);
+
+    tor_fraction_weighted +=
+        dc.metrics.mean_tor_fraction * static_cast<double>(dc.link_count);
+    fleet.worst_tor_fraction =
+        std::min(fleet.worst_tor_fraction, dc.min_worst_tor_fraction);
+
+    fleet.faults_injected += dc.metrics.faults_injected;
+    fleet.tickets_opened += dc.metrics.tickets_opened;
+    fleet.repair_attempts += dc.metrics.repair_attempts;
+    fleet.first_attempts += dc.metrics.first_attempts;
+    fleet.first_attempt_successes += dc.metrics.first_attempt_successes;
+    fleet.redetections += dc.metrics.redetections;
+    fleet.undisabled_detections += dc.metrics.undisabled_detections;
+    resolution_weighted += dc.metrics.mean_ticket_resolution_s *
+                           static_cast<double>(dc.metrics.tickets_opened);
+
+    fleet.controller.corruption_reports +=
+        dc.metrics.controller.corruption_reports;
+    fleet.controller.disabled_on_arrival +=
+        dc.metrics.controller.disabled_on_arrival;
+    fleet.controller.disabled_on_activation +=
+        dc.metrics.controller.disabled_on_activation;
+    fleet.controller.tickets_issued += dc.metrics.controller.tickets_issued;
+    fleet.controller.optimizer_runs += dc.metrics.controller.optimizer_runs;
+  }
+  fleet.mean_dc_penalty =
+      fleet.integrated_penalty / static_cast<double>(dcs.size());
+  if (fleet.total_links > 0) {
+    fleet.mean_tor_fraction =
+        tor_fraction_weighted / static_cast<double>(fleet.total_links);
+  }
+  if (fleet.tickets_opened > 0) {
+    fleet.mean_ticket_resolution_s =
+        resolution_weighted / static_cast<double>(fleet.tickets_opened);
+  }
+  return fleet;
+}
+
+FleetResult FleetCampaign::run(const CampaignOptions& options) const {
+  std::vector<DcResult> results(spec_.dcs.size());
+  common::ThreadPool pool(options.threads);
+  common::parallel_for_each(pool, spec_.dcs.size(), [&](std::size_t i) {
+    results[i] = run_dc(spec_, spec_.dcs[i], options.collect_obs);
+  });
+
+  // Canonical order: ascending key (name as tie-break), so the merged
+  // floating-point sums and the serialized per-DC rows are independent of
+  // the order DCs were listed in the spec.
+  std::stable_sort(results.begin(), results.end(),
+                   [](const DcResult& a, const DcResult& b) {
+                     return a.key != b.key ? a.key < b.key : a.name < b.name;
+                   });
+
+  FleetResult out;
+  out.fleet = merge_results(results);
+  out.dcs = std::move(results);
+  return out;
+}
+
+}  // namespace corropt::fleet

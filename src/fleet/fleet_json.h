@@ -1,0 +1,34 @@
+// Deterministic BENCH_fleet.json serialization.
+//
+// Writes a corropt-bench-metrics/1 document with one scenarios[] row per
+// DC (canonical key order) plus a top-level "fleet" aggregate object —
+// schema documented in EXPERIMENTS.md. Unlike bench::write_metrics_json,
+// the envelope carries no "threads" member and the rows no "wall_seconds":
+// those are the two sanctioned non-deterministic fields, and omitting them
+// makes the whole file byte-identical for any thread count and submission
+// order. Both bench_fleet and tests/fleet_test.cc serialize through this
+// code, so the test's digest equality is a statement about the shipped
+// bytes.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "fleet/fleet_campaign.h"
+
+namespace corropt::fleet {
+
+// Serializes the result to `out`; byte-deterministic given equal results.
+void write_fleet_json(std::ostream& out, const FleetResult& result,
+                      const std::string& generator);
+
+// Serializes to a string (tests digest this).
+[[nodiscard]] std::string fleet_json_string(const FleetResult& result,
+                                            const std::string& generator);
+
+// Writes to `path`; throws std::runtime_error when the file cannot be
+// written.
+void write_fleet_json_file(const std::string& path, const FleetResult& result,
+                           const std::string& generator);
+
+}  // namespace corropt::fleet

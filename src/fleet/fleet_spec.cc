@@ -1,0 +1,230 @@
+#include "fleet/fleet_spec.h"
+
+#include <array>
+#include <cassert>
+#include <cstdio>
+
+#include "common/rng.h"
+#include "topology/fat_tree.h"
+
+namespace corropt::fleet {
+
+const char* shape_name(DcShape shape) {
+  switch (shape) {
+    case DcShape::kLargeDcn:
+      return "large";
+    case DcShape::kMediumDcn:
+      return "medium";
+    case DcShape::kXgft:
+      return "xgft";
+  }
+  return "?";
+}
+
+std::uint64_t derive_dc_seed(std::uint64_t fleet_seed, std::uint64_t dc_key,
+                             SeedStream stream) {
+  // First draw of the counter-keyed generator: a pure function of
+  // (fleet_seed, dc_key, stream) through three splitmix64 finalizer
+  // rounds, so every DC stream is independent of submission order.
+  return common::CounterRng(fleet_seed, dc_key,
+                            static_cast<std::uint64_t>(stream))();
+}
+
+topology::Topology build_dc_topology(const DcSpec& dc) {
+  switch (dc.shape) {
+    case DcShape::kLargeDcn:
+      return topology::build_large_dcn();
+    case DcShape::kMediumDcn:
+      return topology::build_medium_dcn();
+    case DcShape::kXgft: {
+      topology::Topology topo = topology::build_xgft(dc.xgft);
+      if (dc.tor_breakout >= 2) {
+        topo.assign_breakout_groups(dc.tor_breakout, /*lower_level=*/0);
+      }
+      if (dc.agg_breakout >= 2) {
+        topo.assign_breakout_groups(dc.agg_breakout, /*lower_level=*/1);
+      }
+      return topo;
+    }
+  }
+  assert(false && "unknown DcShape");
+  return {};
+}
+
+namespace {
+
+// XGFT equivalents of build_large_dcn / build_medium_dcn (the builders
+// delegate to build_clos with these widths — see fat_tree.cc).
+topology::XgftSpec large_dcn_spec() {
+  topology::XgftSpec spec;
+  spec.children_per_node = {56, 36};
+  spec.parents_per_node = {12, 20};
+  return spec;  // 32,832 links
+}
+
+topology::XgftSpec medium_dcn_spec() {
+  topology::XgftSpec spec;
+  spec.children_per_node = {40, 24};
+  spec.parents_per_node = {12, 16};
+  return spec;  // 16,128 links
+}
+
+}  // namespace
+
+std::size_t expected_link_count(const DcSpec& dc) {
+  switch (dc.shape) {
+    case DcShape::kLargeDcn:
+      return large_dcn_spec().total_links();
+    case DcShape::kMediumDcn:
+      return medium_dcn_spec().total_links();
+    case DcShape::kXgft:
+      return dc.xgft.total_links();
+  }
+  return 0;
+}
+
+namespace {
+
+// Sub-streams of a DC's kShape seed, one per heterogeneity dimension, so
+// adding a draw to one dimension never perturbs another.
+enum ShapeField : std::uint64_t {
+  kFieldShape = 1,
+  kFieldDensity = 2,
+  kFieldMix = 3,
+  kFieldBurst = 4,
+  kFieldConstraint = 5,
+  kFieldRepair = 6,
+};
+
+// Custom XGFT designs in the palette beyond the paper's two evaluation
+// DCNs: a wide leaf-spine fabric, two smaller k-ary fat-trees (edge
+// sites), and a four-tier tree exercising r > 2 tiers above the ToR.
+topology::XgftSpec leaf_spine_spec() {
+  topology::XgftSpec spec;
+  spec.children_per_node = {256};
+  spec.parents_per_node = {32};
+  return spec;  // 256 ToRs x 32 spines = 8,192 links
+}
+
+topology::XgftSpec deep_tree_spec() {
+  topology::XgftSpec spec;
+  spec.children_per_node = {16, 8, 8};
+  spec.parents_per_node = {8, 4, 4};
+  return spec;  // 4-tier XGFT, 1,024 ToRs, ~45K links
+}
+
+}  // namespace
+
+FleetSpec make_deployment_fleet(std::size_t dc_count,
+                                common::SimDuration duration,
+                                std::uint64_t seed) {
+  FleetSpec fleet;
+  fleet.name = "deployment";
+  fleet.seed = seed;
+  fleet.dcs.reserve(dc_count);
+
+  for (std::size_t i = 0; i < dc_count; ++i) {
+    DcSpec dc;
+    dc.key = i + 1;  // stable identity; 0 is reserved for hand-built DCs
+    const std::uint64_t shape_seed =
+        derive_dc_seed(seed, dc.key, SeedStream::kShape);
+
+    // Shape: weighted palette. The paper's fleet mixes a few very large
+    // fabrics with many mid-size ones.
+    {
+      common::CounterRng rng(shape_seed, kFieldShape, 0);
+      const double u = rng.uniform();
+      if (u < 0.20) {
+        dc.shape = DcShape::kLargeDcn;
+      } else if (u < 0.55) {
+        dc.shape = DcShape::kMediumDcn;
+      } else {
+        dc.shape = DcShape::kXgft;
+        const double v = rng.uniform();
+        if (v < 0.30) {
+          dc.xgft = leaf_spine_spec();
+          dc.tor_breakout = 4;
+          dc.agg_breakout = 0;
+        } else if (v < 0.55) {
+          dc.xgft = topology::fat_tree_spec(16);  // 2,048 links
+          dc.tor_breakout = 2;
+          dc.agg_breakout = 2;
+        } else if (v < 0.80) {
+          dc.xgft = topology::fat_tree_spec(24);  // 6,912 links
+          dc.tor_breakout = 2;
+          dc.agg_breakout = 4;
+        } else {
+          dc.xgft = deep_tree_spec();
+          dc.tor_breakout = 2;
+          dc.agg_breakout = 2;
+        }
+      }
+    }
+
+    char name[64];
+    std::snprintf(name, sizeof(name), "dc%02zu-%s", i, shape_name(dc.shape));
+    dc.name = name;
+
+    // Fault density: the repo-wide default is 1.5e-4 faults/link/day
+    // (DESIGN.md); DCs spread around it the way fleet age and optics mix
+    // spread corruption incidence in practice.
+    {
+      common::CounterRng rng(shape_seed, kFieldDensity, 0);
+      dc.trace.faults_per_link_per_day = rng.uniform(0.8e-4, 2.4e-4);
+    }
+
+    // Root-cause mix: per-DC contributions drawn within the Table 2
+    // ranges (contamination 17-57%, damaged fiber 14-48%, decaying
+    // transmitter <1%, bad transceiver 6-45%, shared component 10-26%)
+    // and renormalized — the 007-style observation that no two DCs share
+    // one fault profile.
+    {
+      common::CounterRng rng(shape_seed, kFieldMix, 0);
+      faults::FaultMixParams& mix = dc.trace.mix;
+      mix.p_contamination = rng.uniform(0.17, 0.57);
+      mix.p_damaged_fiber = rng.uniform(0.14, 0.48);
+      mix.p_decaying_transmitter = rng.uniform(0.001, 0.01);
+      mix.p_bad_transceiver = rng.uniform(0.06, 0.45);
+      mix.p_shared_component = rng.uniform(0.10, 0.26);
+      const double total = mix.p_contamination + mix.p_damaged_fiber +
+                           mix.p_decaying_transmitter + mix.p_bad_transceiver +
+                           mix.p_shared_component;
+      mix.p_contamination /= total;
+      mix.p_damaged_fiber /= total;
+      mix.p_decaying_transmitter /= total;
+      mix.p_bad_transceiver /= total;
+      mix.p_shared_component /= total;
+    }
+
+    // Burstiness (Section 3's correlated onsets) varies with how much
+    // maintenance churn a site sees.
+    {
+      common::CounterRng rng(shape_seed, kFieldBurst, 0);
+      dc.trace.p_burst = rng.uniform(0.02, 0.10);
+    }
+
+    // Capacity constraint: most DCs run the paper's default 75% ToR
+    // spine-path requirement; some run looser or tighter SLAs.
+    {
+      common::CounterRng rng(shape_seed, kFieldConstraint, 0);
+      const double u = rng.uniform();
+      dc.config.capacity_fraction = u < 0.25 ? 0.5 : u < 0.80 ? 0.75 : 0.875;
+    }
+
+    // Repair crews differ: first-attempt success spread around the
+    // paper's 0.8 simulation default.
+    {
+      common::CounterRng rng(shape_seed, kFieldRepair, 0);
+      dc.config.outcome.first_attempt_success = rng.uniform(0.70, 0.90);
+    }
+
+    dc.trace.duration = duration;
+    dc.config.duration = duration;
+    dc.config.mode = core::CheckerMode::kCorrOpt;
+
+    fleet.dcs.push_back(std::move(dc));
+  }
+  return fleet;
+}
+
+}  // namespace corropt::fleet

@@ -1,0 +1,111 @@
+// Fleet description: N heterogeneous data centers in one campaign.
+//
+// The paper's headline deployment result (Section 7) comes from running
+// CorrOpt across 70 production data centers of different sizes, ages, and
+// fault profiles. A FleetSpec captures that: each DcSpec names one DC's
+// topology shape (the paper's large/medium Clos designs or a custom XGFT),
+// its fault mix (per-DC root-cause contributions vary across the Table 2
+// ranges — the observation 007 [Arzani et al.] makes democratically), and
+// its mitigation configuration.
+//
+// Determinism contract: every random choice a DC makes is a pure function
+// of (FleetSpec::seed, DcSpec::key, stream) through the same counter-keyed
+// splitmix64 derivation common::CounterRng and bench::derive_seed use.
+// Keys are stable identifiers, not positions, so shuffling the `dcs`
+// vector, adding DCs, or changing thread counts cannot perturb any DC's
+// trace or simulation — see DESIGN.md §11.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "sim/scenario_config.h"
+#include "topology/topology.h"
+#include "topology/xgft.h"
+#include "trace/trace.h"
+
+namespace corropt::fleet {
+
+// Which builder shapes a DC's topology.
+enum class DcShape {
+  kLargeDcn,   // the paper's large evaluation DCN (~33K links)
+  kMediumDcn,  // the paper's medium evaluation DCN (~16K links)
+  kXgft,       // custom XGFT (leaf-spine, small fat-trees, deep trees)
+};
+
+[[nodiscard]] const char* shape_name(DcShape shape);
+
+struct DcSpec {
+  // Human-readable identifier, unique within a fleet; also the name of
+  // the per-DC row in BENCH_fleet.json.
+  std::string name;
+
+  // Stable identity for seed derivation and canonical output order. All
+  // randomness of this DC derives from (fleet seed, key), never from the
+  // DC's position in FleetSpec::dcs — results are order-free.
+  std::uint64_t key = 0;
+
+  DcShape shape = DcShape::kMediumDcn;
+  // Used when shape == kXgft; ignored otherwise.
+  topology::XgftSpec xgft;
+  // Breakout bundling applied after an XGFT build (the large/medium
+  // builders bundle their own): group ToR uplinks (level 0) in bundles of
+  // `tor_breakout` and level-1 uplinks in bundles of `agg_breakout`;
+  // values < 2 disable that level's grouping.
+  int tor_breakout = 2;
+  int agg_breakout = 0;
+
+  // Fault arrival process; `trace.duration` must equal `config.duration`
+  // (the factories keep them in sync).
+  trace::TraceParams trace;
+
+  // Mitigation configuration. `config.seed` is ignored: FleetCampaign
+  // derives the simulation seed from (fleet seed, key) so per-DC streams
+  // never collide.
+  sim::ScenarioConfig config;
+};
+
+struct FleetSpec {
+  std::string name = "fleet";
+  // Base seed; every DC's trace/sim seeds derive from this and its key.
+  std::uint64_t seed = 1;
+  std::vector<DcSpec> dcs;
+};
+
+// Named sub-streams of one DC's seed material.
+enum class SeedStream : std::uint64_t {
+  kTrace = 1,  // corruption-trace synthesis
+  kSim = 2,    // MitigationSimulation's ScenarioConfig::seed
+  kShape = 3,  // heterogeneity draws when building the spec itself
+};
+
+// Counter-keyed seed derivation: three splitmix64 finalizer rounds over
+// (fleet_seed, dc_key, stream) — the same mixing CounterRng applies to
+// its key triple — so any DC's streams are computable independently, in
+// any order, on any thread.
+[[nodiscard]] std::uint64_t derive_dc_seed(std::uint64_t fleet_seed,
+                                           std::uint64_t dc_key,
+                                           SeedStream stream);
+
+// Builds the DC's topology fresh (simulations mutate link state, so
+// instances are never shared).
+[[nodiscard]] topology::Topology build_dc_topology(const DcSpec& dc);
+
+// Expected link count of the spec without building it (sizing output and
+// sanity checks).
+[[nodiscard]] std::size_t expected_link_count(const DcSpec& dc);
+
+// The paper's deployment, synthesized: `dc_count` heterogeneous DCs with
+// shapes drawn from a palette (the two evaluation DCNs plus leaf-spine,
+// small fat-tree, and 4-tier XGFT designs), fault densities and Table 2
+// root-cause mixes varied per DC within the paper's reported ranges, and
+// a per-DC capacity constraint from {0.5, 0.75, 0.875}. Every draw is
+// keyed by (seed, dc key), so the same (dc_count, duration, seed) always
+// yields the same fleet.
+[[nodiscard]] FleetSpec make_deployment_fleet(std::size_t dc_count,
+                                              common::SimDuration duration,
+                                              std::uint64_t seed);
+
+}  // namespace corropt::fleet

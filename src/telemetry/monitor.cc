@@ -42,7 +42,7 @@ PollSample sample_direction_keyed(const NetworkState& state, DirectionId dir,
                                   const DirectionLoad& load,
                                   std::uint64_t poll_seed,
                                   double packets_per_poll_at_line_rate) {
-  const DirectionState& d = state.direction(dir);
+  const auto d = state.direction(dir);
   const topology::Topology& topo = state.topo();
   const bool enabled = topo.is_enabled(topology::link_of(dir));
 
@@ -79,7 +79,7 @@ PollSample PollingMonitor::poll_direction(DirectionId dir,
                                           SimTime epoch_start,
                                           const DirectionLoad& load,
                                           SimDuration epoch) {
-  DirectionState& d = state_->direction(dir);
+  auto d = state_->direction(dir);
   const topology::Topology& topo = state_->topo();
   const bool enabled = topo.is_enabled(topology::link_of(dir));
 

@@ -1,28 +1,16 @@
 #include "telemetry/network_state.h"
 
-#include <algorithm>
-
 namespace corropt::telemetry {
 
 NetworkState::NetworkState(const topology::Topology& topo, OpticalTech tech)
     : topo_(&topo), tech_(std::move(tech)) {
-  directions_.resize(topo.direction_count());
-  for (DirectionState& d : directions_) {
-    d.tx_power_dbm = tech_.nominal_tx_dbm;
-  }
-}
-
-double NetworkState::link_corruption_rate(LinkId id) const {
-  using topology::LinkDirection;
-  const double up =
-      corruption_rate(topology::direction_id(id, LinkDirection::kUp));
-  const double down =
-      corruption_rate(topology::direction_id(id, LinkDirection::kDown));
-  return std::max(up, down);
-}
-
-bool NetworkState::link_is_corrupting(LinkId id, double threshold) const {
-  return link_corruption_rate(id) >= threshold;
+  const std::size_t n = topo.direction_count();
+  tx_power_dbm_.assign(n, tech_.nominal_tx_dbm);
+  extra_attenuation_db_.assign(n, 0.0);
+  corruption_rate_.assign(n, 0.0);
+  packets_.assign(n, 0);
+  corruption_drops_.assign(n, 0);
+  congestion_drops_.assign(n, 0);
 }
 
 }  // namespace corropt::telemetry

@@ -34,7 +34,7 @@ void write_topology(std::ostream& out, const Topology& topo) {
   }
   for (const Link& link : topo.links()) {
     csv.row("link", link.id.value(), link.lower.value(), link.upper.value(),
-            link.enabled ? 1 : 0, link.breakout_group);
+            topo.is_enabled(link.id) ? 1 : 0, link.breakout_group);
   }
 }
 

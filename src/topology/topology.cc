@@ -85,9 +85,8 @@ const std::vector<SwitchId>& Topology::switches_at_level(int level) const {
 }
 
 void Topology::set_enabled(LinkId id, bool enabled) {
-  Link& link = links_[id.index()];
-  if (link.enabled == enabled) return;
-  link.enabled = enabled;
+  assert(id.valid() && id.index() < links_.size());
+  if (enabled_mask_.test(id.index()) == enabled) return;
   enabled_mask_.set(id.index(), enabled);
   enabled_links_ += enabled ? 1 : -1;
   ++version_;

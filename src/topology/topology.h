@@ -39,14 +39,17 @@ struct Switch {
   std::vector<LinkId> downlinks;
 };
 
+// Structural description of one bidirectional link. Mutable link status
+// (enabled/disabled) is NOT stored here: it lives in the topology's flat
+// `enabled_mask()` bitset, indexed by link id, so state sweeps stream over
+// one dense array instead of striding through this struct. Query it via
+// Topology::is_enabled().
 struct Link {
   LinkId id;
   // Endpoint at level l.
   SwitchId lower;
   // Endpoint at level l + 1.
   SwitchId upper;
-  // A link is either carrying traffic or administratively disabled.
-  bool enabled = true;
   // Links sharing a breakout cable get the same non-negative group id;
   // -1 means the link has a dedicated cable. Shared-component faults
   // (root cause 5, Section 4) strike whole groups.
@@ -113,10 +116,14 @@ class Topology {
   }
 
   // --- link state ----------------------------------------------------
-  [[nodiscard]] bool is_enabled(LinkId id) const { return link_at(id).enabled; }
+  [[nodiscard]] bool is_enabled(LinkId id) const {
+    return enabled_mask_.test(id.index());
+  }
   void set_enabled(LinkId id, bool enabled);
-  // One bit per link, set iff enabled — kept in sync with the per-link
-  // flags so sweeps can test link state without touching the Link array.
+  // One bit per link, set iff enabled — the single source of truth for
+  // administrative link status. Sweeps (optimizer feasibility, path
+  // counting, capacity sampling) test state word-at-a-time here without
+  // touching the structural Link array.
   [[nodiscard]] const common::DynamicBitset& enabled_mask() const {
     return enabled_mask_;
   }

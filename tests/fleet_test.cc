@@ -1,0 +1,268 @@
+// Fleet campaign determinism and golden equivalence.
+//
+// The fleet engine's contract (DESIGN.md §11) is that BENCH_fleet.json is
+// a pure function of the FleetSpec: bit-identical for any thread count
+// and any submission order of the DCs, and a 1-DC fleet reproduces a
+// standalone MitigationSimulation run exactly. These tests serialize
+// through fleet::fleet_json_string — the same code bench_fleet writes
+// files with — so digest equality here is a statement about shipped
+// bytes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "fleet/fleet_campaign.h"
+#include "fleet/fleet_json.h"
+#include "fleet/fleet_spec.h"
+#include "sim/mitigation_sim.h"
+#include "topology/fat_tree.h"
+#include "trace/trace.h"
+
+namespace corropt::fleet {
+namespace {
+
+// A small heterogeneous fleet that runs in well under a second: XGFT
+// shapes only (the paper-scale large/medium DCNs are exercised by
+// bench_fleet and the deployment-factory test below).
+FleetSpec small_fleet(std::size_t dc_count = 6) {
+  FleetSpec spec;
+  spec.name = "test-fleet";
+  spec.seed = 42;
+  for (std::size_t i = 0; i < dc_count; ++i) {
+    DcSpec dc;
+    dc.key = 100 + i;
+    dc.name = "test-dc" + std::to_string(i);
+    dc.shape = DcShape::kXgft;
+    dc.xgft = topology::fat_tree_spec(i % 2 == 0 ? 6 : 8);
+    dc.tor_breakout = 2;
+    dc.agg_breakout = i % 3 == 0 ? 2 : 0;
+    dc.trace.faults_per_link_per_day = 0.005 + 0.002 * static_cast<double>(i);
+    dc.trace.duration = 20 * common::kDay;
+    dc.config.duration = 20 * common::kDay;
+    dc.config.capacity_fraction = i % 2 == 0 ? 0.5 : 0.75;
+    dc.config.mode = i % 3 == 0 ? core::CheckerMode::kSwitchLocal
+                                : core::CheckerMode::kCorrOpt;
+    spec.dcs.push_back(std::move(dc));
+  }
+  return spec;
+}
+
+TEST(FleetCampaign, JsonIsBitIdenticalAcrossThreadCounts) {
+  const FleetSpec spec = small_fleet();
+  std::string baseline;
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    CampaignOptions options;
+    options.threads = threads;
+    const FleetResult result = FleetCampaign(spec).run(options);
+    const std::string json = fleet_json_string(result, "fleet_test");
+    if (baseline.empty()) {
+      baseline = json;
+      EXPECT_NE(baseline.find("\"schema\": \"corropt-bench-metrics/1\""),
+                std::string::npos);
+      // The two sanctioned non-deterministic fields must be absent.
+      EXPECT_EQ(baseline.find("wall_seconds"), std::string::npos);
+      EXPECT_EQ(baseline.find("\"threads\""), std::string::npos);
+    } else {
+      EXPECT_EQ(json, baseline) << threads << " threads diverged";
+    }
+  }
+}
+
+TEST(FleetCampaign, JsonIsInvariantUnderSubmissionOrder) {
+  const FleetSpec spec = small_fleet();
+  CampaignOptions options;
+  options.threads = 2;
+  const std::string baseline =
+      fleet_json_string(FleetCampaign(spec).run(options), "fleet_test");
+
+  FleetSpec reversed = spec;
+  std::reverse(reversed.dcs.begin(), reversed.dcs.end());
+  EXPECT_EQ(fleet_json_string(FleetCampaign(reversed).run(options),
+                              "fleet_test"),
+            baseline);
+
+  FleetSpec rotated = spec;
+  std::rotate(rotated.dcs.begin(), rotated.dcs.begin() + 2,
+              rotated.dcs.end());
+  EXPECT_EQ(
+      fleet_json_string(FleetCampaign(rotated).run(options), "fleet_test"),
+      baseline);
+}
+
+// A 1-DC fleet must reproduce the standalone simulation exactly: same
+// topology factory, a sequential trace RNG seeded with the DC's derived
+// kTrace seed, and config.seed set to the derived kSim seed.
+TEST(FleetCampaign, SingleDcFleetMatchesStandaloneSimulation) {
+  FleetSpec spec;
+  spec.seed = 7;
+  DcSpec dc;
+  dc.key = 31337;
+  dc.name = "solo";
+  dc.shape = DcShape::kXgft;
+  dc.xgft = topology::fat_tree_spec(8);
+  dc.tor_breakout = 2;
+  dc.agg_breakout = 2;
+  dc.trace.faults_per_link_per_day = 0.01;
+  dc.trace.duration = 25 * common::kDay;
+  dc.config.duration = 25 * common::kDay;
+  dc.config.capacity_fraction = 0.5;
+  spec.dcs.push_back(dc);
+
+  const FleetResult result = FleetCampaign(spec).run({});
+  ASSERT_EQ(result.dcs.size(), 1u);
+  const sim::SimulationMetrics& fleet_metrics = result.dcs[0].metrics;
+
+  // Standalone reproduction of the per-DC recipe.
+  topology::Topology topo = topology::build_fat_tree(8);
+  topo.assign_breakout_groups(2, 0);
+  topo.assign_breakout_groups(2, 1);
+  common::Rng trace_rng(derive_dc_seed(7, 31337, SeedStream::kTrace));
+  const auto events =
+      trace::CorruptionTraceGenerator(topo, dc.trace, trace_rng).generate();
+  sim::ScenarioConfig config = dc.config;
+  config.seed = derive_dc_seed(7, 31337, SeedStream::kSim);
+  sim::MitigationSimulation sim(topo, config);
+  const sim::SimulationMetrics standalone = sim.run(events);
+
+  EXPECT_EQ(fleet_metrics.integrated_penalty, standalone.integrated_penalty);
+  EXPECT_EQ(fleet_metrics.mean_tor_fraction, standalone.mean_tor_fraction);
+  EXPECT_EQ(fleet_metrics.faults_injected, standalone.faults_injected);
+  EXPECT_EQ(fleet_metrics.tickets_opened, standalone.tickets_opened);
+  EXPECT_EQ(fleet_metrics.repair_attempts, standalone.repair_attempts);
+  EXPECT_EQ(fleet_metrics.first_attempts, standalone.first_attempts);
+  EXPECT_EQ(fleet_metrics.first_attempt_successes,
+            standalone.first_attempt_successes);
+  EXPECT_EQ(fleet_metrics.redetections, standalone.redetections);
+  EXPECT_EQ(fleet_metrics.undisabled_detections,
+            standalone.undisabled_detections);
+  EXPECT_EQ(fleet_metrics.mean_ticket_resolution_s,
+            standalone.mean_ticket_resolution_s);
+  EXPECT_EQ(fleet_metrics.controller.corruption_reports,
+            standalone.controller.corruption_reports);
+  EXPECT_EQ(fleet_metrics.controller.tickets_issued,
+            standalone.controller.tickets_issued);
+  EXPECT_EQ(fleet_metrics.controller.optimizer_runs,
+            standalone.controller.optimizer_runs);
+
+  // Series, element-exact.
+  ASSERT_EQ(fleet_metrics.penalty_series.size(),
+            standalone.penalty_series.size());
+  for (std::size_t i = 0; i < standalone.penalty_series.size(); ++i) {
+    EXPECT_EQ(fleet_metrics.penalty_series[i].time,
+              standalone.penalty_series[i].time);
+    EXPECT_EQ(fleet_metrics.penalty_series[i].value,
+              standalone.penalty_series[i].value);
+  }
+  ASSERT_EQ(fleet_metrics.worst_tor_fraction.size(),
+            standalone.worst_tor_fraction.size());
+  for (std::size_t i = 0; i < standalone.worst_tor_fraction.size(); ++i) {
+    EXPECT_EQ(fleet_metrics.worst_tor_fraction[i].value,
+              standalone.worst_tor_fraction[i].value);
+  }
+
+  // With one DC the fleet aggregates are that DC's numbers.
+  EXPECT_EQ(result.fleet.integrated_penalty, standalone.integrated_penalty);
+  EXPECT_EQ(result.fleet.worst_dc, "solo");
+  EXPECT_EQ(result.fleet.total_links, topo.link_count());
+}
+
+TEST(FleetCampaign, AggregatesMatchPerDcSums) {
+  const FleetSpec spec = small_fleet();
+  const FleetResult result = FleetCampaign(spec).run({});
+  ASSERT_EQ(result.dcs.size(), spec.dcs.size());
+
+  double penalty = 0.0;
+  std::size_t links = 0, faults = 0, tickets = 0;
+  double weighted_tor = 0.0;
+  for (const DcResult& dc : result.dcs) {
+    penalty += dc.metrics.integrated_penalty;
+    links += dc.link_count;
+    faults += dc.metrics.faults_injected;
+    tickets += dc.metrics.tickets_opened;
+    weighted_tor +=
+        dc.metrics.mean_tor_fraction * static_cast<double>(dc.link_count);
+  }
+  EXPECT_EQ(result.fleet.integrated_penalty, penalty);
+  EXPECT_EQ(result.fleet.total_links, links);
+  EXPECT_EQ(result.fleet.faults_injected, faults);
+  EXPECT_EQ(result.fleet.tickets_opened, tickets);
+  EXPECT_EQ(result.fleet.mean_tor_fraction,
+            weighted_tor / static_cast<double>(links));
+  EXPECT_GT(result.fleet.faults_injected, 0u);
+
+  // Canonical order: ascending key.
+  for (std::size_t i = 1; i < result.dcs.size(); ++i) {
+    EXPECT_LT(result.dcs[i - 1].key, result.dcs[i].key);
+  }
+}
+
+TEST(FleetSpecTest, DeploymentFactoryIsHeterogeneousAndDeterministic) {
+  const FleetSpec a = make_deployment_fleet(70, 90 * common::kDay, 2017);
+  const FleetSpec b = make_deployment_fleet(70, 90 * common::kDay, 2017);
+  ASSERT_EQ(a.dcs.size(), 70u);
+
+  std::set<std::string> names;
+  std::set<std::uint64_t> keys;
+  std::set<DcShape> shapes;
+  std::set<double> densities, constraints;
+  std::size_t total_links = 0;
+  for (std::size_t i = 0; i < a.dcs.size(); ++i) {
+    const DcSpec& dc = a.dcs[i];
+    names.insert(dc.name);
+    keys.insert(dc.key);
+    shapes.insert(dc.shape);
+    densities.insert(dc.trace.faults_per_link_per_day);
+    constraints.insert(dc.config.capacity_fraction);
+    total_links += expected_link_count(dc);
+    EXPECT_EQ(dc.trace.duration, dc.config.duration);
+
+    // Same (count, duration, seed) -> identical specs.
+    EXPECT_EQ(dc.name, b.dcs[i].name);
+    EXPECT_EQ(dc.key, b.dcs[i].key);
+    EXPECT_EQ(dc.shape, b.dcs[i].shape);
+    EXPECT_EQ(dc.trace.faults_per_link_per_day,
+              b.dcs[i].trace.faults_per_link_per_day);
+    EXPECT_EQ(dc.trace.mix.p_contamination,
+              b.dcs[i].trace.mix.p_contamination);
+
+    // Root-cause mix renormalized to a probability simplex.
+    const faults::FaultMixParams& mix = dc.trace.mix;
+    const double total = mix.p_contamination + mix.p_damaged_fiber +
+                         mix.p_decaying_transmitter + mix.p_bad_transceiver +
+                         mix.p_shared_component;
+    EXPECT_NEAR(total, 1.0, 1e-12);
+  }
+  EXPECT_EQ(names.size(), 70u) << "names must be unique";
+  EXPECT_EQ(keys.size(), 70u) << "keys must be unique";
+  EXPECT_EQ(shapes.size(), 3u) << "all three shapes should appear at n=70";
+  EXPECT_GT(densities.size(), 60u) << "fault densities should vary per DC";
+  EXPECT_GE(constraints.size(), 2u);
+  // Headline scale: a 70-DC fleet carries over a million links.
+  EXPECT_GT(total_links, 1000000u);
+
+  // A different seed reshapes the fleet.
+  const FleetSpec c = make_deployment_fleet(70, 90 * common::kDay, 2018);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < c.dcs.size(); ++i) {
+    any_diff |= c.dcs[i].trace.faults_per_link_per_day !=
+                a.dcs[i].trace.faults_per_link_per_day;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(FleetSpecTest, DerivedSeedStreamsAreDistinct) {
+  const std::uint64_t trace_seed = derive_dc_seed(1, 5, SeedStream::kTrace);
+  EXPECT_NE(trace_seed, derive_dc_seed(1, 5, SeedStream::kSim));
+  EXPECT_NE(trace_seed, derive_dc_seed(1, 6, SeedStream::kTrace));
+  EXPECT_NE(trace_seed, derive_dc_seed(2, 5, SeedStream::kTrace));
+  // Pure function of the triple.
+  EXPECT_EQ(trace_seed, derive_dc_seed(1, 5, SeedStream::kTrace));
+}
+
+}  // namespace
+}  // namespace corropt::fleet

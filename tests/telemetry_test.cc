@@ -65,6 +65,60 @@ TEST(NetworkState, LinkCorruptionRateIsWorseDirection) {
   EXPECT_FALSE(state.link_is_corrupting(link, 1e-3));
 }
 
+// The SoA view contract: direction() hands out a bundle of references
+// into the flat per-direction arrays, writes go straight to storage, and
+// DirectionState remains the value/snapshot type.
+TEST(NetworkState, DirectionViewWritesThroughToFlatArrays) {
+  const Topology topo = single_link_topo();
+  NetworkState state(topo, default_tech());
+  const auto up = topology::direction_id(common::LinkId(0),
+                                         LinkDirection::kUp);
+  const auto down = topology::direction_id(common::LinkId(0),
+                                           LinkDirection::kDown);
+
+  auto view = state.direction(up);
+  view.corruption_rate = 2.5e-4;
+  view.extra_attenuation_db = 9.0;
+  view.packets += 100;
+
+  // Reads through the flat spans see the writes (up = 2*link, down =
+  // 2*link + 1).
+  EXPECT_DOUBLE_EQ(state.corruption_rates()[0], 2.5e-4);
+  EXPECT_DOUBLE_EQ(state.corruption_rates()[1], 0.0);
+  EXPECT_DOUBLE_EQ(state.extra_attenuations_db()[0], 9.0);
+  EXPECT_EQ(state.packet_counters()[0], 100u);
+  EXPECT_DOUBLE_EQ(state.corruption_rate(up), 2.5e-4);
+  EXPECT_DOUBLE_EQ(state.corruption_rate(down), 0.0);
+
+  // Snapshot materialization decouples from storage.
+  DirectionState snapshot = state.direction(up);
+  EXPECT_DOUBLE_EQ(snapshot.corruption_rate, 2.5e-4);
+  snapshot.corruption_rate = 1.0;
+  EXPECT_DOUBLE_EQ(state.corruption_rate(up), 2.5e-4);
+
+  // Assigning a snapshot back through the view writes all fields.
+  snapshot.corruption_rate = 7e-3;
+  snapshot.congestion_drops = 5;
+  state.direction(up) = snapshot;
+  EXPECT_DOUBLE_EQ(state.corruption_rate(up), 7e-3);
+  EXPECT_EQ(state.congestion_drop_counters()[0], 5u);
+}
+
+TEST(NetworkState, ConstViewReadsFlatArrays) {
+  const Topology topo = single_link_topo();
+  NetworkState state(topo, default_tech());
+  state.direction(topology::direction_id(common::LinkId(0),
+                                         LinkDirection::kDown))
+      .corruption_rate = 4e-5;
+  const NetworkState& const_state = state;
+  const auto view = const_state.direction(topology::direction_id(
+      common::LinkId(0), LinkDirection::kDown));
+  EXPECT_DOUBLE_EQ(view.corruption_rate, 4e-5);
+  EXPECT_DOUBLE_EQ(view.tx_power_dbm, default_tech().nominal_tx_dbm);
+  EXPECT_EQ(const_state.corruption_rates().size(),
+            topo.direction_count());
+}
+
 TEST(Monitor, CountsMatchLoadAndRates) {
   const Topology topo = single_link_topo();
   NetworkState state(topo, default_tech());

@@ -39,7 +39,7 @@ TEST(TopologyIo, RoundTripPreservesEverything) {
         static_cast<common::LinkId::underlying_type>(i));
     EXPECT_EQ(parsed->link_at(id).lower, original.link_at(id).lower);
     EXPECT_EQ(parsed->link_at(id).upper, original.link_at(id).upper);
-    EXPECT_EQ(parsed->link_at(id).enabled, original.link_at(id).enabled);
+    EXPECT_EQ(parsed->is_enabled(id), original.is_enabled(id));
     EXPECT_EQ(parsed->link_at(id).breakout_group,
               original.link_at(id).breakout_group);
   }
@@ -134,7 +134,7 @@ TEST_P(RandomRoundTripTest, ArbitraryStatesSurvive) {
   for (std::size_t i = 0; i < original.link_count(); ++i) {
     const common::LinkId id(
         static_cast<common::LinkId::underlying_type>(i));
-    EXPECT_EQ(parsed->link_at(id).enabled, original.link_at(id).enabled);
+    EXPECT_EQ(parsed->is_enabled(id), original.is_enabled(id));
     EXPECT_EQ(parsed->link_at(id).breakout_group,
               original.link_at(id).breakout_group);
   }

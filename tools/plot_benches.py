@@ -112,6 +112,18 @@ def absorb_json(doc, rows):
             for week, (sl, co) in enumerate(zip(local, corropt), start=1):
                 rows[f"fig{figure}"].append(
                     [dcn, str(week), repr(sl), repr(co)])
+    elif exhibit == "fleet":
+        # One row per DC: name, shape, links, integrated penalty, mean
+        # ToR fraction (canonical key order, as serialized).
+        for scenario in doc["scenarios"]:
+            metrics = scenario["metrics"]
+            rows["fleet"].append([
+                scenario["name"],
+                scenario["tags"]["shape"],
+                str(scenario["link_count"]),
+                repr(metrics["integrated_penalty"]),
+                repr(metrics["mean_tor_fraction"]),
+            ])
     elif exhibit in ("runtime_optimizer", "runtime_fastchecker"):
         # Scenarios are raw google-benchmark runs: "BM_Family/arg" names
         # plus normalized millisecond timings and optional counters
@@ -322,6 +334,44 @@ def main():
         ax.legend(fontsize=8)
         ax.set_title("Fast-checker decision time vs topology size")
         save(fig, "runtime_fastchecker.png")
+
+    if "fleet" in rows:
+        # Per-DC integrated penalty, sorted descending, colored by shape,
+        # with marker size tracking DC link count.
+        data = [(r[0], r[1], int(r[2]), float(r[3])) for r in rows["fleet"]]
+        data.sort(key=lambda d: -d[3])
+        colors = {"large": "C3", "medium": "C0", "xgft": "C2"}
+        fig, ax = plt.subplots(figsize=(max(8, len(data) * 0.18), 4.5))
+        xs = range(len(data))
+        ax.bar(xs, [max(d[3], 1e-2) for d in data],
+               color=[colors.get(d[1], "C7") for d in data])
+        ax.set_yscale("log")
+        ax.set_xticks(list(xs))
+        ax.set_xticklabels([d[0] for d in data], rotation=90, fontsize=5)
+        ax.set_ylabel("integrated penalty")
+        handles = [plt.Rectangle((0, 0), 1, 1, color=c)
+                   for c in colors.values()]
+        ax.legend(handles, colors.keys(), fontsize=8)
+        ax.set_title("Fleet campaign: per-DC integrated penalty "
+                     f"({len(data)} DCs)")
+        save(fig, "fleet_penalty.png")
+
+        # DC size vs unavailability scatter.
+        fig, ax = plt.subplots()
+        by_shape = collections.defaultdict(lambda: ([], []))
+        for r in rows["fleet"]:
+            by_shape[r[1]][0].append(int(r[2]))
+            by_shape[r[1]][1].append(1.0 - float(r[4]))
+        for shape, (links, unavail) in sorted(by_shape.items()):
+            ax.scatter(links, [max(u, 1e-6) for u in unavail],
+                       color=colors.get(shape, "C7"), label=shape)
+        ax.set_xscale("log")
+        ax.set_yscale("log")
+        ax.set_xlabel("DC links")
+        ax.set_ylabel("1 - mean ToR path fraction")
+        ax.legend()
+        ax.set_title("Fleet campaign: DC size vs unavailability")
+        save(fig, "fleet_availability.png")
 
     return 0
 
