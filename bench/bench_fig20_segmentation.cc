@@ -2,15 +2,21 @@
 // example — two groups of corrupting links whose disable decisions are
 // independent and can be optimized separately — and (ii) an ablation on
 // the large DCN measuring how segmentation (plus pruning and the reject
-// cache) shrinks the optimizer's search.
+// cache) shrinks the optimizer's search. The ablation configurations
+// run as independent jobs on the ScenarioRunner pool (--threads), each
+// regenerating the identical corruption scenario from the same derived
+// seed; results land in BENCH_fig20.json alongside the csv rows.
 
 #include <chrono>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_util.h"
 #include "common/rng.h"
 #include "corropt/optimizer.h"
 #include "corropt/segmentation.h"
+#include "study_util.h"
 #include "topology/fat_tree.h"
 
 namespace {
@@ -59,9 +65,30 @@ core::CorruptionSet clustered_corruption(const topology::Topology& topo,
   return corruption;
 }
 
+struct AblationConfig {
+  const char* name;
+  bool segmentation;
+  bool reject_cache;
+  bool prefilter;
+};
+
+constexpr AblationConfig kConfigs[] = {
+    {"full (segmentation + cache)", true, true, true},
+    {"no segmentation", false, true, true},
+    {"no reject cache", true, false, true},
+    {"no singleton prefilter", true, true, false},
+};
+
+struct AblationOutcome {
+  core::OptimizerResult result;
+  std::size_t corrupting = 0;
+  double elapsed_ms = 0.0;
+};
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
   bench::print_header("Figure 20 / Section 8",
                       "Topology segmentation: independent optimization of "
                       "corrupting-link groups");
@@ -100,47 +127,66 @@ int main() {
     }
   }
 
-  // (ii) Ablation on the large DCN.
-  std::printf("\nlarge-DCN ablation (clustered corruption in 6 pods, "
-              "capacity 87.5%%):\n");
+  // (ii) Ablation on the large DCN: one job per configuration, every
+  // job regenerating the identical corruption from the same derived
+  // seed so the four rows differ only in optimizer switches.
+  const int pods = args.quick ? 3 : 6;
+  std::printf("\nlarge-DCN ablation (clustered corruption in %d pods, "
+              "capacity 87.5%%):\n", pods);
   std::printf("%-34s %12s %12s %12s\n", "configuration", "subsets",
               "cache skips", "time (ms)");
-  struct Config {
-    const char* name;
-    bool segmentation;
-    bool reject_cache;
-    bool prefilter;
-  };
-  const Config configs[] = {
-      {"full (segmentation + cache)", true, true, true},
-      {"no segmentation", false, true, true},
-      {"no reject cache", true, false, true},
-      {"no singleton prefilter", true, true, false},
-  };
-  for (const Config& config : configs) {
-    auto topo = topology::build_large_dcn();
-    common::Rng rng(55);
-    const core::CorruptionSet corruption =
-        clustered_corruption(topo, 6, rng);
-    core::CapacityConstraint constraint(0.875);
-    core::OptimizerConfig opt;
-    opt.use_segmentation = config.segmentation;
-    opt.use_reject_cache = config.reject_cache;
-    opt.prefilter_singletons = config.prefilter;
-    core::Optimizer optimizer(topo, constraint,
-                              core::PenaltyFunction::linear(), opt);
-    const auto start = std::chrono::steady_clock::now();
-    const core::OptimizerResult result = optimizer.run(corruption);
-    const auto elapsed =
-        std::chrono::duration<double, std::milli>(
-            std::chrono::steady_clock::now() - start)
-            .count();
+  bench::ScenarioRunner runner(args.threads);
+  const std::vector<AblationOutcome> outcomes = runner.map(
+      std::size(kConfigs), [&](std::size_t i) {
+        const AblationConfig& config = kConfigs[i];
+        auto topo = topology::build_large_dcn();
+        common::Rng rng(bench::derive_seed(55, 0));
+        const core::CorruptionSet corruption =
+            clustered_corruption(topo, pods, rng);
+        core::CapacityConstraint constraint(0.875);
+        core::OptimizerConfig opt;
+        opt.use_segmentation = config.segmentation;
+        opt.use_reject_cache = config.reject_cache;
+        opt.prefilter_singletons = config.prefilter;
+        core::Optimizer optimizer(topo, constraint,
+                                  core::PenaltyFunction::linear(), opt);
+        AblationOutcome outcome;
+        outcome.corrupting = corruption.size();
+        const auto start = std::chrono::steady_clock::now();
+        outcome.result = optimizer.run(corruption);
+        outcome.elapsed_ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        return outcome;
+      });
+
+  std::vector<bench::StudyScenario> rows;
+  for (std::size_t i = 0; i < std::size(kConfigs); ++i) {
+    const AblationConfig& config = kConfigs[i];
+    const AblationOutcome& outcome = outcomes[i];
+    const core::OptimizerResult& result = outcome.result;
     std::printf("%-34s %12zu %12zu %12.2f   (disabled %zu/%zu, exact=%s)\n",
                 config.name, result.subsets_evaluated, result.cache_skips,
-                elapsed, result.disabled.size(), corruption.size(),
-                result.exact ? "yes" : "no");
+                outcome.elapsed_ms, result.disabled.size(),
+                outcome.corrupting, result.exact ? "yes" : "no");
     std::printf("csv,fig20,%s,%zu,%zu,%.3f\n", config.name,
-                result.subsets_evaluated, result.cache_skips, elapsed);
+                result.subsets_evaluated, result.cache_skips,
+                outcome.elapsed_ms);
+    bench::StudyScenario row;
+    row.name = config.name;
+    row.metrics = {
+        {"subsets_evaluated", static_cast<double>(result.subsets_evaluated)},
+        {"cache_skips", static_cast<double>(result.cache_skips)},
+        {"wall_ms", outcome.elapsed_ms},
+        {"disabled", static_cast<double>(result.disabled.size())},
+        {"corrupting", static_cast<double>(outcome.corrupting)},
+        {"exact", result.exact ? 1.0 : 0.0},
+    };
+    rows.push_back(std::move(row));
   }
+  bench::write_study_metrics_json(args.json_path("fig20"), "fig20",
+                                  "bench_fig20_segmentation", args.threads,
+                                  rows);
   return 0;
 }

@@ -100,6 +100,15 @@ class DynamicBitset {
     return true;
   }
 
+  // In-place union; sizes must match.
+  DynamicBitset& operator|=(const DynamicBitset& other) {
+    assert(bits_ == other.bits_);
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      words_[w] |= other.words_[w];
+    }
+    return *this;
+  }
+
   [[nodiscard]] bool intersects(const DynamicBitset& other) const {
     assert(bits_ == other.bits_);
     for (std::size_t w = 0; w < words_.size(); ++w) {

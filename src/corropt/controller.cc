@@ -1,6 +1,8 @@
 #include "corropt/controller.h"
 
 #include <algorithm>
+#include <memory>
+#include <stdexcept>
 
 #include "common/logging.h"
 
@@ -15,7 +17,19 @@ Controller::Controller(topology::Topology& topo, ControllerConfig config,
       fast_checker_(topo, constraint_),
       switch_local_(topo, switch_local_threshold(config.capacity_fraction,
                                                  std::max(1, topo.top_level()))),
-      optimizer_(topo, constraint_, penalty, config.optimizer) {}
+      optimizer_(topo, constraint_, penalty, config.optimizer) {
+  if (config_.incremental) {
+    optimizer_.set_incremental(true);
+    fast_checker_.set_incremental(true);
+  }
+}
+
+void Controller::note_state_changed(
+    std::span<const common::LinkId> links) {
+  if (!config_.incremental) return;
+  optimizer_.note_links_changed(links);
+  fast_checker_.note_links_changed(links);
+}
 
 void Controller::enable_audit_log(std::size_t capacity) {
   audit_enabled_ = true;
@@ -73,7 +87,11 @@ void Controller::issue_ticket(common::LinkId link) {
 bool Controller::arrival_disable(common::LinkId link) {
   switch (config_.mode) {
     case CheckerMode::kSwitchLocal:
-      return switch_local_.try_disable(link);
+      if (switch_local_.try_disable(link)) {
+        note_state_changed({&link, 1});
+        return true;
+      }
+      return false;
     case CheckerMode::kFastCheckerOnly:
     case CheckerMode::kCorrOpt: {
       if (config_.account_collateral_repair) {
@@ -87,9 +105,16 @@ bool Controller::arrival_disable(common::LinkId link) {
           return topo_->is_enabled(link) ? false : true;
         }
         topo_->set_enabled(link, false);
+        note_state_changed({&link, 1});
         return true;
       }
-      return fast_checker_.try_disable(link);
+      if (fast_checker_.try_disable(link)) {
+        // The fast checker's own cache self-maintained; the note reaches
+        // the optimizer's pending list.
+        note_state_changed({&link, 1});
+        return true;
+      }
+      return false;
     }
   }
   return false;
@@ -152,6 +177,7 @@ void Controller::recheck_all_active() {
 void Controller::on_link_repaired(common::LinkId link) {
   corruption_.unmark(link);
   topo_->set_enabled(link, true);
+  note_state_changed({&link, 1});
   audit({ActionRecord::Kind::kEnabled, link, 0.0, 0});
   emit_link(obs::EventKind::kLinkEnabled, obs::EventReason::kNone, link, 0.0);
   switch (config_.mode) {
@@ -162,7 +188,27 @@ void Controller::on_link_repaired(common::LinkId link) {
     case CheckerMode::kCorrOpt: {
       ++stats_.optimizer_runs;
       obs_optimizer_runs_.add();
+      // Debug equivalence check: snapshot the pre-run state so the same
+      // event can be replayed from scratch below.
+      std::unique_ptr<topology::Topology> cold_topo;
+      if (config_.verify_incremental) {
+        cold_topo = std::make_unique<topology::Topology>(*topo_);
+      }
       const OptimizerResult result = optimizer_.run(corruption_);
+      if (cold_topo != nullptr) {
+        Optimizer cold(*cold_topo, constraint_, penalty_, config_.optimizer);
+        const OptimizerResult cold_result = cold.run(corruption_);
+        if (cold_result.disabled != result.disabled ||
+            cold_result.disabled_penalty != result.disabled_penalty ||
+            cold_result.remaining_penalty != result.remaining_penalty ||
+            !(cold_topo->enabled_mask() == topo_->enabled_mask())) {
+          throw std::logic_error(
+              "controller: incremental optimizer diverged from cold solve");
+        }
+      }
+      // The optimizer already noted its own disables internally; this
+      // reaches the fast checker's cached counts.
+      note_state_changed(result.disabled);
       stats_.disabled_on_activation += result.disabled.size();
       obs_disabled_activation_.add(result.disabled.size());
       audit({ActionRecord::Kind::kOptimizerRun, common::LinkId(), 0.0,

@@ -12,6 +12,7 @@
 
 #include <deque>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "common/ids.h"
@@ -49,6 +50,21 @@ struct ControllerConfig {
   // checker only disables a link if capacity holds even with its whole
   // breakout bundle off. (The switch-local baseline has no equivalent.)
   bool account_collateral_repair = false;
+
+  // Incremental control loop (DESIGN.md §12): keep the optimizer's and
+  // fast checker's derived state (path counts, closures, segment
+  // solutions) alive across events, invalidating only what each change
+  // touches. Decisions — disable sets, enabled mask, penalties, tickets,
+  // journal decision events — are identical to the default cold path;
+  // only search-effort diagnostics (kOptimizerRun.detail1, the
+  // optimizer.subsets_evaluated / cache-skip counters, and
+  // fastcheck.cache_refreshes / delta_updates) may differ.
+  bool incremental = false;
+  // Debug mode: after every optimizer run, replay the event cold on a
+  // topology copy and throw std::logic_error if the disable set, the
+  // penalties, or the resulting enabled mask diverge. Expensive; for
+  // tests and the CI bench smoke only.
+  bool verify_incremental = false;
 };
 
 class Controller {
@@ -100,6 +116,8 @@ class Controller {
     std::size_t optimizer_runs = 0;
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
+  // Read access to the optimizer (e.g. incremental_stats() in tests).
+  [[nodiscard]] const Optimizer& optimizer() const { return optimizer_; }
 
   // Structured audit trail of controller decisions, for operator
   // tooling and post-incident review. Off by default; bounded to the
@@ -135,6 +153,10 @@ class Controller {
   void recheck_all_active();
   void issue_ticket(common::LinkId link);
   bool arrival_disable(common::LinkId link);
+  // Reports an enabled-state change to the incremental caches (no-op
+  // unless config_.incremental). Must be called after every effective
+  // set_enabled on topo_ outside the optimizer's own run.
+  void note_state_changed(std::span<const common::LinkId> links);
   void audit(ActionRecord record);
   // Journals a link-scoped event with the link's lower switch filled in.
   void emit_link(obs::EventKind kind, obs::EventReason reason,

@@ -7,6 +7,7 @@ namespace corropt::core {
 
 void CorruptionSet::mark(LinkId link, double loss_rate) {
   assert(loss_rate >= 0.0);
+  ++epoch_;
   const auto it = entries_.find(link);
   if (it != entries_.end()) {
     it->second.rate = loss_rate;
@@ -15,7 +16,10 @@ void CorruptionSet::mark(LinkId link, double loss_rate) {
   entries_.emplace(link, Entry{loss_rate, next_seq_++});
 }
 
-void CorruptionSet::unmark(LinkId link) { entries_.erase(link); }
+void CorruptionSet::unmark(LinkId link) {
+  ++epoch_;
+  entries_.erase(link);
+}
 
 double CorruptionSet::rate(LinkId link) const {
   const auto it = entries_.find(link);
@@ -49,10 +53,17 @@ std::vector<LinkId> CorruptionSet::active_in_detection_order(
 
 double CorruptionSet::total_active_penalty(
     const topology::Topology& topo, const PenaltyFunction& penalty) const {
+  if (penalty_cache_.valid && penalty_cache_.topo == &topo &&
+      penalty_cache_.topo_version == topo.state_version() &&
+      penalty_cache_.epoch == epoch_ && penalty_cache_.penalty == penalty) {
+    return penalty_cache_.value;
+  }
   double total = 0.0;
   for (const auto& [link, entry] : entries_) {
     if (topo.is_enabled(link)) total += penalty(entry.rate);
   }
+  penalty_cache_ = PenaltyCache{true, &topo, topo.state_version(), epoch_,
+                                penalty, total};
   return total;
 }
 

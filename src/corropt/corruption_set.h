@@ -38,6 +38,10 @@ class CorruptionSet {
   void mark(LinkId link, double loss_rate);
   void unmark(LinkId link);
 
+  // Bumped on every mark/unmark; together with Topology::state_version()
+  // it keys the total_active_penalty cache below.
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+
   [[nodiscard]] bool contains(LinkId link) const {
     return entries_.contains(link);
   }
@@ -60,13 +64,30 @@ class CorruptionSet {
       const topology::Topology& topo) const;
 
   // Total penalty per unit time of active corrupting links:
-  // sum of I(f_l) over enabled corrupting links.
+  // sum of I(f_l) over enabled corrupting links. O(1) while neither the
+  // set (epoch) nor the topology's link state (state_version) changed
+  // since the last call with the same topology and penalty function; the
+  // entries_ rescan only runs when one of those keys moved.
   [[nodiscard]] double total_active_penalty(
       const topology::Topology& topo, const PenaltyFunction& penalty) const;
 
  private:
   std::unordered_map<LinkId, Entry> entries_;
   std::uint64_t next_seq_ = 0;
+  std::uint64_t epoch_ = 0;
+
+  // Memoized total_active_penalty result and the keys it was computed
+  // under. Written only from the (single-threaded) control loop; the
+  // parallel segment solvers never call total_active_penalty.
+  struct PenaltyCache {
+    bool valid = false;
+    const topology::Topology* topo = nullptr;
+    std::uint64_t topo_version = 0;
+    std::uint64_t epoch = 0;
+    PenaltyFunction penalty = PenaltyFunction::linear();
+    double value = 0.0;
+  };
+  mutable PenaltyCache penalty_cache_;
 };
 
 }  // namespace corropt::core

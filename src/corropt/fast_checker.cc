@@ -17,6 +17,7 @@ void FastChecker::set_sink(obs::Sink* sink) {
     obs_checks_ = obs::Counter();
     obs_disables_ = obs::Counter();
     obs_cache_refreshes_ = obs::Counter();
+    obs_delta_updates_ = obs::Counter();
     obs_closure_switches_ = obs::Counter();
     obs_check_timer_ = obs::Histogram();
     return;
@@ -25,8 +26,30 @@ void FastChecker::set_sink(obs::Sink* sink) {
   obs_checks_ = metrics.counter("fastcheck.checks");
   obs_disables_ = metrics.counter("fastcheck.disables");
   obs_cache_refreshes_ = metrics.counter("fastcheck.cache_refreshes");
+  // Registered only in incremental mode: the default path must leave the
+  // metrics registry (and thus the golden digests) untouched.
+  obs_delta_updates_ = incremental_ ? metrics.counter("fastcheck.delta_updates")
+                                    : obs::Counter();
   obs_closure_switches_ = metrics.counter("fastcheck.closure_switches");
   obs_check_timer_ = metrics.timer("fastcheck.check_s");
+}
+
+void FastChecker::note_links_changed(
+    std::span<const common::LinkId> links) {
+  if (!incremental_ || !cache_valid_) return;
+  const std::uint64_t version = topo_->state_version();
+  if (cached_version_ == version) return;
+  // Each effective enabled-state change bumps the version by one; a gap
+  // this note cannot account for means an unnoted change slipped in, so
+  // the delta fold would miss links. Drop the cache and resweep lazily.
+  if (version - cached_version_ > links.size()) {
+    cache_valid_ = false;
+    return;
+  }
+  paths_.refresh_counts_after_changes(cached_counts_, links, nullptr,
+                                      note_scratch_);
+  cached_version_ = version;
+  obs_delta_updates_.add();
 }
 
 void FastChecker::refresh_cache() {

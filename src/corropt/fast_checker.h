@@ -57,9 +57,23 @@ class FastChecker {
   [[nodiscard]] const PathCounter& paths() const { return paths_; }
 
   // Attaches observability: per-decision counters ("fastcheck.checks",
-  // ".disables", ".cache_refreshes", ".closure_switches") and the
-  // "fastcheck.check_s" wall-clock timer. Pass nullptr to detach.
+  // ".disables", ".cache_refreshes", ".delta_updates",
+  // ".closure_switches") and the "fastcheck.check_s" wall-clock timer.
+  // Pass nullptr to detach.
   void set_sink(obs::Sink* sink);
+
+  // Incremental mode (DESIGN.md §12): when on, note_links_changed folds
+  // an external enabled-state change into the cached counts by
+  // recounting only the changed links' downward closure, instead of the
+  // full-fabric refresh the next decision would otherwise pay. Verdicts
+  // are identical either way.
+  void set_incremental(bool enabled) { incremental_ = enabled; }
+
+  // Reports external enabled-state changes of `links` (the checker's own
+  // try_disable already self-maintains). No-op outside incremental mode
+  // or when the cache is cold; unnoted changes are still caught by the
+  // state-version check and trigger a full refresh.
+  void note_links_changed(std::span<const common::LinkId> links);
 
  private:
   struct ClosureResult {
@@ -82,6 +96,8 @@ class FastChecker {
   std::vector<std::uint64_t> cached_counts_;
   std::uint64_t cached_version_ = 0;
   bool cache_valid_ = false;
+  bool incremental_ = false;
+  PathCounter::SweepScratch note_scratch_;
   // Scratch for closure traversal.
   std::vector<char> in_closure_;
   std::vector<common::SwitchId> closure_;
@@ -92,6 +108,7 @@ class FastChecker {
   obs::Counter obs_checks_;
   obs::Counter obs_disables_;
   obs::Counter obs_cache_refreshes_;
+  obs::Counter obs_delta_updates_;
   obs::Counter obs_closure_switches_;
   obs::Histogram obs_check_timer_;
 };

@@ -1,6 +1,7 @@
 #include "corropt/optimizer.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <limits>
 #include <utility>
@@ -65,6 +66,11 @@ struct OptimizerSegmentOutcome {
   std::size_t cache_skips = 0;
   std::size_t accept_skips = 0;
   std::size_t bound_skips = 0;
+  // Sweep-region link mask (every installed uplink of every in-region
+  // switch); only filled when the solve was asked to capture it. A later
+  // enabled-state change outside this mask cannot alter the segment's
+  // feasibility sweeps, which is what makes cached solutions reusable.
+  LinkMask region;
 };
 
 namespace {
@@ -115,9 +121,113 @@ void Optimizer::refresh_baseline() {
       !baseline_counts_.empty()) {
     return;
   }
-  paths_.up_paths_into(baseline_counts_);
-  baseline_violated_ = paths_.violated_tors(baseline_counts_, *constraint_);
+  if (incremental_ && !baseline_counts_.empty() && !pending_changed_.empty()) {
+    // Every effective enabled-state change since the baseline was taken
+    // is in pending_changed_ (sync_incremental_state degrades to a cold
+    // rebuild otherwise), so recounting the downward closure of those
+    // links brings the counts to the current state exactly.
+    paths_.refresh_counts_after_changes(baseline_counts_, pending_changed_,
+                                        &touched_tors_, sweep_scratch_);
+    merge_baseline_violated();
+    ++inc_stats_.baseline_delta_recounts;
+  } else {
+    paths_.up_paths_into(baseline_counts_);
+    baseline_violated_ = paths_.violated_tors(baseline_counts_, *constraint_);
+    if (incremental_) ++inc_stats_.baseline_full_recounts;
+  }
+  pending_changed_.clear();
   baseline_version_ = topo_->state_version();
+}
+
+void Optimizer::merge_baseline_violated() {
+  if (touched_tors_.empty()) return;
+  // Both lists are id-sorted: baseline_violated_ by construction
+  // (violated_tors / masked_violated_tors_into), touched_tors_ because
+  // sweep nodes come in id order within the ToR level. Two-pointer merge
+  // re-evaluating only the touched ToRs' verdicts.
+  std::vector<SwitchId> merged;
+  merged.reserve(baseline_violated_.size() + touched_tors_.size());
+  std::size_t a = 0;
+  std::size_t b = 0;
+  while (a < baseline_violated_.size() || b < touched_tors_.size()) {
+    if (b == touched_tors_.size() ||
+        (a < baseline_violated_.size() &&
+         baseline_violated_[a] < touched_tors_[b])) {
+      merged.push_back(baseline_violated_[a++]);
+      continue;
+    }
+    const SwitchId tor = touched_tors_[b++];
+    if (a < baseline_violated_.size() && baseline_violated_[a] == tor) ++a;
+    if (constraint_->below_min(tor, paths_.design_paths()[tor.index()],
+                               baseline_counts_[tor.index()])) {
+      merged.push_back(tor);
+    }
+  }
+  baseline_violated_ = std::move(merged);
+}
+
+void Optimizer::set_incremental(bool enabled) {
+  if (enabled == incremental_) return;
+  incremental_ = enabled;
+  pending_changed_.clear();
+  drift_ = false;
+  if (enabled) {
+    tracked_version_ = topo_->state_version();
+    if (closures_ == nullptr) {
+      closures_ = std::make_unique<TorClosureCache>(paths_);
+    }
+  } else {
+    segment_cache_.clear();
+    closures_.reset();
+  }
+}
+
+void Optimizer::note_links_changed(std::span<const LinkId> links) {
+  if (!incremental_) return;
+  const std::uint64_t version = topo_->state_version();
+  // No version movement means no effective enabled-state change (a
+  // corruption-rate-only change is caught by the per-candidate rate
+  // comparison at reuse time, so it needs no invalidation here).
+  if (version == tracked_version_) return;
+  const std::uint64_t delta = version - tracked_version_;
+  tracked_version_ = version;
+  if (drift_) return;
+  // Every effective enabled-state change bumps the version by exactly
+  // one, and callers note each change they make. A version gap larger
+  // than this note can account for means something changed behind our
+  // back with no note — the pending list is incomplete, so fall cold.
+  if (delta > links.size() ||
+      pending_changed_.size() + links.size() > kMaxPendingChanges) {
+    drift_ = true;  // Next run rebuilds from scratch.
+    return;
+  }
+  pending_changed_.insert(pending_changed_.end(), links.begin(), links.end());
+  for (auto& [key, entry] : segment_cache_) {
+    if (!entry.fresh) continue;
+    for (LinkId link : links) {
+      if (entry.region.test(link.index())) {
+        entry.fresh = false;
+        break;
+      }
+    }
+  }
+}
+
+void Optimizer::sync_incremental_state() {
+  ++inc_stats_.runs;
+  if (topo_->state_version() != tracked_version_) {
+    // The topology changed behind our back (no note_links_changed):
+    // the pending list is incomplete, so nothing cached can be trusted.
+    drift_ = true;
+    tracked_version_ = topo_->state_version();
+  }
+  if (drift_) {
+    ++inc_stats_.cold_fallbacks;
+    segment_cache_.clear();
+    baseline_counts_.clear();  // Forces a full recount in refresh_baseline.
+    pending_changed_.clear();
+    drift_ = false;
+  }
 }
 
 void Optimizer::compile_region(const Segment& segment,
@@ -220,13 +330,27 @@ void Optimizer::compile_region(const Segment& segment,
 
 OptimizerSegmentOutcome Optimizer::solve_segment(
     const Segment& segment, const CorruptionSet& corruption,
-    OptimizerSegmentScratch& s) const {
+    OptimizerSegmentScratch& s, const std::vector<char>* warm,
+    bool capture_region) const {
   assert(!segment.links.empty());
   const std::size_t n = segment.links.size();
   OptimizerSegmentOutcome out;
   out.selected.assign(n, 0);
 
   compile_region(segment, s);
+  if (capture_region) {
+    // All installed uplinks of in-region switches: the exact dependence
+    // set of every feasibility sweep this solve can run.
+    out.region.assign(topo_->link_count());
+    for (std::size_t sw = 0; sw < s.in_region.size(); ++sw) {
+      if (!s.in_region[sw]) continue;
+      const PathCounter::UplinkSpan span = paths_.uplinks_of(
+          static_cast<std::uint32_t>(sw));
+      for (std::size_t u = 0; u < span.count; ++u) {
+        out.region.set(span.link[u]);
+      }
+    }
+  }
 
   // Disabling links never adds paths, so a ToR already below its
   // requirement at baseline dooms every subset: return the empty
@@ -370,6 +494,28 @@ OptimizerSegmentOutcome Optimizer::solve_segment(
     return ok;
   };
 
+  // Warm-start hint (incremental mode): a previous solution of this
+  // segment, evaluated once so its verdict lands in the accept or reject
+  // cache as a proven fact. Cache answers always equal what a sweep
+  // would report (monotonicity both ways), so the DFS below makes
+  // bit-identical decisions with or without the hint — only the number
+  // of sweeps changes. Skipped if any hinted candidate failed the
+  // singleton prefilter (the old solution cannot be feasible now) or the
+  // hint is a singleton (already seeded above).
+  if (warm != nullptr && warm->size() == n) {
+    std::uint32_t hint = 0;
+    bool usable = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      if ((*warm)[i] == 0) continue;
+      if (s.pos_bit[i] == 0) {
+        usable = false;
+        break;
+      }
+      hint |= s.pos_bit[i];
+    }
+    if (usable && std::popcount(hint) >= 2) evaluate(hint);
+  }
+
   std::uint32_t best_mask = 0;
   bool best_from_dfs = false;
   // `mask` is the committed prefix over positions [0, j); `feasible`
@@ -471,6 +617,7 @@ OptimizerResult Optimizer::run(const CorruptionSet& corruption) {
 }
 
 OptimizerResult Optimizer::run_impl(const CorruptionSet& corruption) {
+  if (incremental_) sync_incremental_state();
   OptimizerResult result;
   const std::vector<LinkId> candidates = corruption.active(*topo_);
   if (candidates.empty()) {
@@ -506,10 +653,19 @@ OptimizerResult Optimizer::run_impl(const CorruptionSet& corruption) {
       result.disabled = candidates;
       result.remaining_penalty =
           corruption.total_active_penalty(*topo_, penalty_);
+      note_links_changed(result.disabled);
       return result;
     }
-    // Links not upstream of any endangered ToR are safe.
-    paths_.upstream_links_into(scratch_mask_, scratch_visited_, endangered);
+    // Links not upstream of any endangered ToR are safe. In incremental
+    // mode the union of memoized per-ToR closures is the same mask.
+    if (incremental_) {
+      scratch_mask_.assign(topo_->link_count());
+      for (SwitchId tor : endangered) {
+        scratch_mask_ |= closures_->closure(tor);
+      }
+    } else {
+      paths_.upstream_links_into(scratch_mask_, scratch_visited_, endangered);
+    }
     contested.clear();
     for (LinkId link : candidates) {
       if (scratch_mask_.test(link.index())) {
@@ -525,7 +681,8 @@ OptimizerResult Optimizer::run_impl(const CorruptionSet& corruption) {
 
   std::vector<Segment> segments;
   if (config_.use_segmentation) {
-    segments = segment_candidates(paths_, contested, endangered);
+    segments = segment_candidates(paths_, contested, endangered,
+                                  incremental_ ? closures_.get() : nullptr);
   } else if (!contested.empty()) {
     Segment all;
     all.links = contested;
@@ -538,23 +695,69 @@ OptimizerResult Optimizer::run_impl(const CorruptionSet& corruption) {
   // contribution to path counts is reflected in feasibility sweeps.
   for (LinkId link : to_disable) topo_->set_enabled(link, false);
 
+  // Incremental reuse: a cached solution answers a segment outright when
+  // its candidates, ToRs, and rates are identical and no noted change
+  // touched its sweep region since it was solved. A content-identical
+  // but stale (or rate-shifted) entry instead warm-starts the solve.
+  // Warm pointers reference live cache entries; the cache is not mutated
+  // until after the (possibly parallel) solves complete.
+  std::vector<OptimizerSegmentOutcome> outcomes(segments.size());
+  std::vector<const std::vector<char>*> warm(segments.size(), nullptr);
+  std::vector<char> reused(segments.size(), 0);
+  if (incremental_) {
+    for (std::size_t i = 0; i < segments.size(); ++i) {
+      const Segment& segment = segments[i];
+      const auto it = segment_cache_.find(
+          static_cast<std::uint32_t>(segment.links.front().index()));
+      if (it == segment_cache_.end()) continue;
+      const CachedSegment& entry = it->second;
+      if (entry.links != segment.links || entry.tors != segment.tors) continue;
+      bool rates_match = true;
+      for (std::size_t k = 0; k < segment.links.size(); ++k) {
+        if (entry.rates[k] != corruption.rate(segment.links[k])) {
+          rates_match = false;
+          break;
+        }
+      }
+      if (entry.fresh && rates_match) {
+        outcomes[i].selected = entry.selected;
+        outcomes[i].penalty = entry.penalty;
+        outcomes[i].exact = entry.exact;
+        reused[i] = 1;
+        ++result.segment_reuses;
+        ++inc_stats_.segment_reuses;
+      } else {
+        warm[i] = &entry.selected;
+        ++inc_stats_.warm_hints;
+      }
+    }
+  }
+
   // Solve segments against the shared pre-segment state; candidates of
   // one segment never enter another segment's sweep region (segmentation
   // would have merged them), so deferring the set_enabled calls keeps
   // this bit-identical to the serial schedule for any thread count.
-  std::vector<OptimizerSegmentOutcome> outcomes(segments.size());
   const std::size_t workers = std::min(
       std::max<std::size_t>(config_.solver_threads, 1), segments.size());
   if (workers > 1) {
     common::ThreadPool pool(workers);
     common::parallel_for_each(pool, segments.size(), [&](std::size_t i) {
+      if (reused[i] != 0) return;
       OptimizerSegmentScratch scratch;
-      outcomes[i] = solve_segment(segments[i], corruption, scratch);
+      outcomes[i] =
+          solve_segment(segments[i], corruption, scratch, warm[i],
+                        incremental_);
     });
   } else {
     for (std::size_t i = 0; i < segments.size(); ++i) {
-      outcomes[i] = solve_segment(segments[i], corruption, *scratch_);
+      if (reused[i] != 0) continue;
+      outcomes[i] =
+          solve_segment(segments[i], corruption, *scratch_, warm[i],
+                        incremental_);
     }
+  }
+  if (incremental_) {
+    inc_stats_.segment_solves += segments.size() - result.segment_reuses;
   }
 
   for (std::size_t i = 0; i < segments.size(); ++i) {
@@ -573,11 +776,37 @@ OptimizerResult Optimizer::run_impl(const CorruptionSet& corruption) {
     }
   }
 
+  // Persist the freshly solved segments for the next run, then note our
+  // own disables: the baseline delta-recount needs them pending, and any
+  // cache entry whose region they touch (including ones just stored that
+  // selected a link) must go stale — its pre-disable state is gone.
+  if (incremental_) {
+    for (std::size_t i = 0; i < segments.size(); ++i) {
+      if (reused[i] != 0) continue;
+      const Segment& segment = segments[i];
+      const OptimizerSegmentOutcome& outcome = outcomes[i];
+      CachedSegment& entry = segment_cache_[
+          static_cast<std::uint32_t>(segment.links.front().index())];
+      entry.links = segment.links;
+      entry.tors = segment.tors;
+      entry.rates.resize(segment.links.size());
+      for (std::size_t k = 0; k < segment.links.size(); ++k) {
+        entry.rates[k] = corruption.rate(segment.links[k]);
+      }
+      entry.region = outcome.region;
+      entry.selected = outcome.selected;
+      entry.penalty = outcome.penalty;
+      entry.exact = outcome.exact;
+      entry.fresh = true;
+    }
+  }
+
   result.disabled = std::move(to_disable);
   for (LinkId link : result.disabled) {
     result.disabled_penalty += penalty_(corruption.rate(link));
   }
   result.remaining_penalty = corruption.total_active_penalty(*topo_, penalty_);
+  note_links_changed(result.disabled);
   return result;
 }
 

@@ -36,6 +36,8 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "common/bitset.h"
@@ -99,6 +101,25 @@ struct OptimizerResult {
   std::size_t accept_skips = 0;
   // Branches cut by the penalty upper-bound test.
   std::size_t bound_skips = 0;
+  // Segments answered from the incremental cache without a solve
+  // (always 0 outside incremental mode).
+  std::size_t segment_reuses = 0;
+};
+
+// Cumulative diagnostics for the incremental mode (DESIGN.md §12).
+// Purely observational: none of these influence decisions.
+struct OptimizerIncrementalStats {
+  std::size_t runs = 0;
+  std::size_t segment_solves = 0;
+  std::size_t segment_reuses = 0;
+  // Solves that started from a warm-start hint (previous solution of a
+  // content-identical segment whose rates changed).
+  std::size_t warm_hints = 0;
+  std::size_t baseline_full_recounts = 0;
+  std::size_t baseline_delta_recounts = 0;
+  // Runs that had to rebuild everything because the topology changed
+  // without a note_links_changed() call (or the pending set overflowed).
+  std::size_t cold_fallbacks = 0;
 };
 
 // Per-solve scratch and the compiled sweep region; defined in the .cc.
@@ -126,15 +147,46 @@ class Optimizer {
   // bit-identical for any `solver_threads`. Pass nullptr to detach.
   void set_sink(obs::Sink* sink);
 
+  // Incremental mode (DESIGN.md §12). When on, the optimizer keeps its
+  // baseline path counts, per-ToR upstream closures, and per-segment
+  // solutions alive across runs, invalidating only what a noted link
+  // change can actually affect. Decisions are identical to a cold solve
+  // (disable set, penalties, enabled mask); only search-effort
+  // diagnostics (subsets_evaluated and friends) may differ. Requires
+  // the caller to report every external enabled-state or corruption-
+  // rate change via note_links_changed(); an unnoted topology change is
+  // detected by state_version and degrades to a cold solve.
+  void set_incremental(bool enabled);
+  [[nodiscard]] bool incremental() const { return incremental_; }
+
+  // Reports that the enabled state or corruption rate of `links` changed
+  // since the last run()/note. Cheap: appends to a pending list and
+  // drops cached segment solutions whose sweep region intersects the
+  // changed links. Safe to call with links the optimizer itself just
+  // disabled (their entries simply go stale). No-op outside incremental
+  // mode.
+  void note_links_changed(std::span<const LinkId> links);
+
+  [[nodiscard]] const OptimizerIncrementalStats& incremental_stats() const {
+    return inc_stats_;
+  }
+
  private:
   OptimizerResult run_impl(const CorruptionSet& corruption);
 
   // Exact branch-and-bound (or greedy, over-budget) search within one
   // segment. Pure with respect to `topo_`: reads link state, never
-  // writes, so segments may be solved concurrently.
+  // writes, so segments may be solved concurrently. `warm`, when
+  // non-null, is a previous solution (per-candidate selected flags, in
+  // segment link order) evaluated once after cache setup to seed the
+  // accept/reject caches — it never changes the decision, only the
+  // search effort. `capture_region` additionally records the segment's
+  // sweep-region link mask in the outcome (for incremental caching).
   OptimizerSegmentOutcome solve_segment(const Segment& segment,
                                         const CorruptionSet& corruption,
-                                        OptimizerSegmentScratch& scratch) const;
+                                        OptimizerSegmentScratch& scratch,
+                                        const std::vector<char>* warm,
+                                        bool capture_region) const;
 
   // Builds the affected-switch sweep region of one segment into scratch.
   void compile_region(const Segment& segment,
@@ -158,6 +210,39 @@ class Optimizer {
   std::vector<SwitchId> baseline_violated_;
   std::uint64_t baseline_version_ = 0;
   PathCounter::SweepScratch sweep_scratch_;
+
+  // --- Incremental mode state (DESIGN.md §12) ---
+  // A previously solved segment kept across runs. Reused verbatim when
+  // its sweep region saw no noted change and the candidate set + rates
+  // are identical; otherwise its `selected` flags warm-start the solve.
+  struct CachedSegment {
+    std::vector<LinkId> links;    // Segment candidates, id-sorted.
+    std::vector<SwitchId> tors;   // Endangered ToRs of the segment.
+    std::vector<double> rates;    // Corruption rate per candidate.
+    LinkMask region;              // Sweep-region link mask (uplinks).
+    std::vector<char> selected;   // Solution flags, per candidate.
+    double penalty = 0.0;
+    bool exact = true;
+    bool fresh = false;  // False once a noted change touches `region`.
+  };
+
+  void sync_incremental_state();
+  // Re-evaluates the violation flag of the ToRs in touched_tors_ and
+  // merges the result into the id-sorted baseline_violated_.
+  void merge_baseline_violated();
+
+  bool incremental_ = false;
+  // Set when the topology changed without a note (or pending overflow);
+  // the next run clears all incremental state first.
+  bool drift_ = false;
+  std::uint64_t tracked_version_ = 0;
+  std::vector<LinkId> pending_changed_;
+  static constexpr std::size_t kMaxPendingChanges = 1024;
+  std::vector<SwitchId> touched_tors_;
+  std::unique_ptr<TorClosureCache> closures_;
+  // Keyed by the segment's lowest candidate link id.
+  std::unordered_map<std::uint32_t, CachedSegment> segment_cache_;
+  OptimizerIncrementalStats inc_stats_;
 
   // Observability (all inert when sink_ is null).
   obs::Sink* sink_ = nullptr;

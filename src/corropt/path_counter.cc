@@ -269,6 +269,55 @@ void PathCounter::up_paths_masked_from_baseline(
   }
 }
 
+void PathCounter::refresh_counts_after_changes(
+    std::vector<std::uint64_t>& counts, std::span<const LinkId> changed_links,
+    std::vector<SwitchId>* touched_tors, SweepScratch& scratch) const {
+  assert(counts.size() == topo_->switch_count());
+  if (touched_tors != nullptr) touched_tors->clear();
+
+  const std::size_t switches = topo_->switch_count();
+  if (scratch.stamp.size() != switches) scratch.stamp.assign(switches, 0);
+  const std::uint64_t epoch = ++scratch.epoch;
+  scratch.frontier.clear();
+
+  // Seed every changed link's lower endpoint unconditionally: whether
+  // the flip enabled or disabled the link, the counts below it moved.
+  for (LinkId link : changed_links) {
+    const std::uint32_t lower =
+        static_cast<std::uint32_t>(topo_->link_at(link).lower.index());
+    if (scratch.stamp[lower] != epoch) {
+      scratch.stamp[lower] = epoch;
+      scratch.frontier.push_back(lower);
+    }
+  }
+  for (std::size_t head = 0; head < scratch.frontier.size(); ++head) {
+    const std::uint32_t s = scratch.frontier[head];
+    const std::uint32_t begin = down_offset_[s];
+    const std::uint32_t end = down_offset_[s + 1];
+    for (std::uint32_t d = begin; d < end; ++d) {
+      const std::uint32_t lower = down_lower_[d];
+      if (scratch.stamp[lower] != epoch) {
+        scratch.stamp[lower] = epoch;
+        scratch.frontier.push_back(lower);
+      }
+    }
+  }
+
+  // Recompute closure members in level-descending order against the
+  // current enabled mask; out-of-closure reads stay valid (their counts
+  // did not change). Nodes within the ToR level come in id order, so
+  // touched_tors is id-sorted for the caller's merge.
+  const std::uint64_t* ew = topo_->enabled_mask().words().data();
+  SliceMemo memo;
+  for (const SweepNode& node : nodes_) {
+    if (scratch.stamp[node.sw] != epoch) continue;
+    counts[node.sw] = node_sum(node, ew, nullptr, counts.data(), memo);
+    if (touched_tors != nullptr && (node.flags & kNodeTor) != 0) {
+      touched_tors->push_back(SwitchId(node.sw));
+    }
+  }
+}
+
 void PathCounter::masked_violated_tors_into(
     std::vector<SwitchId>& violated, std::span<const std::uint64_t> baseline,
     std::span<const SwitchId> baseline_violated, const LinkMask& masked,

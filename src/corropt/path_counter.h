@@ -72,6 +72,25 @@ class PathCounter {
                                      std::span<const LinkId> masked_links,
                                      SweepScratch& scratch) const;
 
+  // In-place delta refresh for long-lived count caches. `counts` must
+  // hold the unmasked up-path counts of a *previous* enabled state that
+  // differs from the topology's current state only on `changed_links`
+  // (each listed link flipped enabled<->disabled any number of times;
+  // unchanged links may appear too — they just widen the recount).
+  // Recomputes the downward closure of the changed links' lower
+  // endpoints against the current enabled mask, leaving every other
+  // entry untouched; the result equals what up_paths_into would produce
+  // from scratch. When `touched_tors` is non-null it receives the ToRs
+  // inside the closure (id-sorted) — the only ToRs whose constraint
+  // verdict can have changed. Unlike the masked variants above, the
+  // closure is seeded from *all* changed links, conducting or not: a
+  // just-disabled link no longer conducts but its removal still changed
+  // its downstream counts.
+  void refresh_counts_after_changes(std::vector<std::uint64_t>& counts,
+                                    std::span<const LinkId> changed_links,
+                                    std::vector<SwitchId>* touched_tors,
+                                    SweepScratch& scratch) const;
+
   // Fused variant for the optimizer's pruning pass: computes the ToRs
   // violated under `masked` directly during the incremental recount,
   // avoiding the separate all-ToRs scan. `baseline_violated` must be

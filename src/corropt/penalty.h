@@ -25,6 +25,12 @@ class PenaltyFunction {
   // Evaluates I(loss_rate); monotone non-decreasing, I(0) = 0.
   [[nodiscard]] double operator()(double loss_rate) const;
 
+  // Two functions compare equal iff they evaluate identically everywhere
+  // (same kind and parameter). Lets caches key on the penalty in use.
+  friend bool operator==(const PenaltyFunction& a, const PenaltyFunction& b) {
+    return a.kind_ == b.kind_ && a.param_ == b.param_;
+  }
+
  private:
   enum class Kind { kLinear, kStep, kTcp };
   PenaltyFunction(Kind kind, double param) : kind_(kind), param_(param) {}

@@ -29,7 +29,7 @@ class UnionFind {
 
 std::vector<Segment> segment_candidates(
     const PathCounter& paths, std::span<const LinkId> candidates,
-    std::span<const SwitchId> endangered_tors) {
+    std::span<const SwitchId> endangered_tors, TorClosureCache* closures) {
   if (candidates.empty()) return {};
 
   // Candidates in id order; union-find runs over their dense indices.
@@ -39,13 +39,19 @@ std::vector<Segment> segment_candidates(
   UnionFind uf(links.size());
   // tor_members[t] = candidate indices upstream of endangered ToR t.
   std::vector<std::vector<std::size_t>> tor_members(endangered_tors.size());
-  LinkMask upstream;
+  LinkMask upstream_local;
   std::vector<char> visited;
   for (std::size_t t = 0; t < endangered_tors.size(); ++t) {
     const SwitchId tor = endangered_tors[t];
-    paths.upstream_links_into(upstream, visited, {&tor, 1});
+    const LinkMask* upstream;
+    if (closures != nullptr) {
+      upstream = &closures->closure(tor);
+    } else {
+      paths.upstream_links_into(upstream_local, visited, {&tor, 1});
+      upstream = &upstream_local;
+    }
     for (std::size_t i = 0; i < links.size(); ++i) {
-      if (upstream.test(links[i].index())) tor_members[t].push_back(i);
+      if (upstream->test(links[i].index())) tor_members[t].push_back(i);
     }
     for (std::size_t i = 1; i < tor_members[t].size(); ++i) {
       uf.unite(tor_members[t][0], tor_members[t][i]);

@@ -22,13 +22,43 @@ struct Segment {
   std::vector<SwitchId> tors;
 };
 
+// Lazily memoized per-ToR upstream closure masks. A ToR's closure
+// follows *installed* links regardless of enabled state (see
+// PathCounter::upstream_links_into), so a built mask never goes stale:
+// the cache is valid for the lifetime of the topology's structure. The
+// incremental optimizer (DESIGN.md §12) keeps one across runs so the
+// per-endangered-ToR closure walks of segmentation and pruning become
+// lookups after the first event that touches a ToR.
+class TorClosureCache {
+ public:
+  explicit TorClosureCache(const PathCounter& paths) : paths_(&paths) {}
+
+  // The upstream link mask of `tor` (== paths.upstream_links({tor})).
+  [[nodiscard]] const LinkMask& closure(SwitchId tor) {
+    if (masks_.empty()) masks_.resize(paths_->topo().switch_count());
+    LinkMask& mask = masks_[tor.index()];
+    if (mask.empty()) {
+      paths_->upstream_links_into(mask, visited_scratch_, {&tor, 1});
+    }
+    return mask;
+  }
+
+ private:
+  const PathCounter* paths_;
+  std::vector<LinkMask> masks_;  // Indexed by switch; empty = not built.
+  std::vector<char> visited_scratch_;
+};
+
 // Partitions `candidates` into independent segments with respect to the
 // given endangered ToRs. ToRs with no candidate upstream are dropped
 // (their violation, if any, cannot be influenced by the candidates).
 // Candidates upstream of no endangered ToR are also dropped — they are
 // the "safe to disable" links the optimizer's pruning already handles.
+// `closures`, when non-null, memoizes the per-ToR upstream masks across
+// calls; the result is identical either way.
 [[nodiscard]] std::vector<Segment> segment_candidates(
     const PathCounter& paths, std::span<const LinkId> candidates,
-    std::span<const SwitchId> endangered_tors);
+    std::span<const SwitchId> endangered_tors,
+    TorClosureCache* closures = nullptr);
 
 }  // namespace corropt::core

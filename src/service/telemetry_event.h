@@ -1,0 +1,36 @@
+// Telemetry events consumed by the runtime control loop (DESIGN.md §12).
+//
+// In deployment the controller is driven by a monitoring pipeline:
+// switches stream corruption notifications, repair crews close tickets,
+// and monitoring occasionally withdraws a report when a rate estimate
+// falls back below the lossy threshold. This header is the narrow
+// interface between that world and corropt::core — one timestamped,
+// link-scoped event per state change, already de-duplicated and ordered
+// by the pipeline (here: by service::make_churn_stream).
+#pragma once
+
+#include <cstdint>
+
+#include "common/ids.h"
+#include "common/time.h"
+
+namespace corropt::service {
+
+enum class TelemetryKind : std::uint8_t {
+  // A switch reported the link corrupting at `loss_rate`.
+  kCorruptionDetected,
+  // A repair action completed: the link is clean and may be re-enabled.
+  kLinkRepaired,
+  // Monitoring withdrew the report without a repair (rate decayed).
+  kCorruptionCleared,
+};
+
+struct TelemetryEvent {
+  common::SimTime time = 0;
+  TelemetryKind kind = TelemetryKind::kCorruptionDetected;
+  common::LinkId link;
+  // Link-level loss rate; only meaningful for kCorruptionDetected.
+  double loss_rate = 0.0;
+};
+
+}  // namespace corropt::service

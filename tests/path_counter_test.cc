@@ -1,3 +1,7 @@
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
@@ -149,6 +153,67 @@ TEST_P(IncrementalSweepRandomTest, MatchesFullMaskedSweep) {
 }
 
 INSTANTIATE_TEST_SUITE_P(RandomTopologies, IncrementalSweepRandomTest,
+                         ::testing::Range(0, 25));
+
+class RefreshAfterChangesRandomTest : public ::testing::TestWithParam<int> {};
+
+// The in-place delta recount used by the incremental optimizer baseline
+// must agree with a fresh full sweep after arbitrary enable/disable
+// flips, and must report exactly the ToRs whose counts changed, in id
+// order (the merge in Optimizer::merge_baseline_violated relies on it).
+TEST_P(RefreshAfterChangesRandomTest, MatchesFullResweep) {
+  common::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 3);
+  XgftSpec spec;
+  const int height = 2 + static_cast<int>(rng.uniform_index(2));
+  for (int i = 0; i < height; ++i) {
+    spec.children_per_node.push_back(
+        1 + static_cast<int>(rng.uniform_index(3)));
+    spec.parents_per_node.push_back(
+        1 + static_cast<int>(rng.uniform_index(3)));
+  }
+  Topology topo = topology::build_xgft(spec);
+  for (std::size_t i = 0; i < topo.link_count(); ++i) {
+    if (rng.bernoulli(0.1)) {
+      topo.set_enabled(common::LinkId(
+                           static_cast<common::LinkId::underlying_type>(i)),
+                       false);
+    }
+  }
+  PathCounter counter(topo);
+  std::vector<std::uint64_t> counts = counter.up_paths();
+  PathCounter::SweepScratch scratch;
+
+  // Several rounds of random flips, each folded in with a delta recount.
+  for (int round = 0; round < 4; ++round) {
+    std::vector<common::LinkId> changed;
+    for (std::size_t i = 0; i < topo.link_count(); ++i) {
+      if (rng.bernoulli(0.12)) {
+        const common::LinkId link(
+            static_cast<common::LinkId::underlying_type>(i));
+        topo.set_enabled(link, !topo.is_enabled(link));
+        changed.push_back(link);
+      }
+    }
+    const std::vector<std::uint64_t> before = counts;
+    std::vector<common::SwitchId> touched;
+    counter.refresh_counts_after_changes(counts, changed, &touched, scratch);
+    EXPECT_EQ(counts, counter.up_paths())
+        << "seed " << GetParam() << " round " << round;
+    // touched is id-sorted and covers every ToR whose count changed.
+    for (std::size_t i = 1; i < touched.size(); ++i) {
+      EXPECT_LT(touched[i - 1], touched[i]);
+    }
+    for (common::SwitchId tor : topo.tors()) {
+      if (before[tor.index()] != counts[tor.index()]) {
+        EXPECT_TRUE(std::binary_search(touched.begin(), touched.end(), tor))
+            << "seed " << GetParam() << " round " << round << " tor "
+            << tor.value();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomTopologies, RefreshAfterChangesRandomTest,
                          ::testing::Range(0, 25));
 
 TEST(PathCounter, ViolatedTorsRespectConstraint) {

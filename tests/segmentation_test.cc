@@ -91,5 +91,44 @@ TEST(Segmentation, PartitionIsExhaustiveAndDisjoint) {
   EXPECT_EQ(covered.size(), candidates.size());
 }
 
+TEST(TorClosureCache, MatchesUpstreamLinks) {
+  // The memoized per-ToR closure (used by the incremental optimizer for
+  // pruning and segmentation) must equal the uncached upstream sweep,
+  // including disabled links.
+  auto topo = topology::build_fat_tree(4);
+  topo.set_enabled(topo.switch_at(topo.tors()[0]).uplinks[0], false);
+  PathCounter counter(topo);
+  TorClosureCache cache(counter);
+  for (common::SwitchId tor : topo.tors()) {
+    const LinkMask& cached = cache.closure(tor);
+    const LinkMask direct = counter.upstream_links({&tor, 1});
+    EXPECT_TRUE(cached == direct) << "tor " << tor.value();
+    // Second lookup serves the memo and must be identical.
+    EXPECT_TRUE(cache.closure(tor) == direct);
+  }
+}
+
+TEST(TorClosureCache, SegmentsMatchUncachedPath) {
+  const auto topo = topology::build_fat_tree(8);
+  PathCounter counter(topo);
+  TorClosureCache cache(counter);
+  std::vector<common::LinkId> candidates;
+  std::vector<common::SwitchId> endangered;
+  for (int pod = 0; pod < 3; ++pod) {
+    const auto tor = topo.tors()[static_cast<std::size_t>(4 * pod)];
+    endangered.push_back(tor);
+    candidates.push_back(topo.switch_at(tor).uplinks[0]);
+    candidates.push_back(topo.switch_at(tor).uplinks[1]);
+  }
+  const auto plain = segment_candidates(counter, candidates, endangered);
+  const auto cached =
+      segment_candidates(counter, candidates, endangered, &cache);
+  ASSERT_EQ(plain.size(), cached.size());
+  for (std::size_t s = 0; s < plain.size(); ++s) {
+    EXPECT_EQ(plain[s].links, cached[s].links);
+    EXPECT_EQ(plain[s].tors, cached[s].tors);
+  }
+}
+
 }  // namespace
 }  // namespace corropt::core

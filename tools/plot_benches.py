@@ -137,6 +137,24 @@ def absorb_json(doc, rows):
                 repr(metrics["real_time_ms"]),
                 repr(metrics.get("candidates", metrics.get("links", 0.0))),
             ])
+    elif exhibit == "runtime_controller":
+        # Per-mode rows: scenario, mode, churn rate (events/day), dec/sec,
+        # mean/p50/p99 latency ms. Summary rows carry the speedup.
+        for scenario in doc["scenarios"]:
+            name, _, mode = scenario["name"].partition("/")
+            metrics = scenario["metrics"]
+            if mode == "summary":
+                rows["runtime_controller_summary"].append(
+                    [name, repr(metrics["speedup"])])
+                continue
+            rows["runtime_controller"].append([
+                name, mode,
+                repr(metrics.get("events_per_day", metrics["events"])),
+                repr(metrics["decisions_per_sec"]),
+                repr(metrics["mean_ms"]),
+                repr(metrics["p50_ms"]),
+                repr(metrics["p99_ms"]),
+            ])
     # Other exhibits (sec73, sec51_tiers, ablation_penalty, ...) carry
     # their full metrics in JSON but have no standard plot here yet.
 
@@ -334,6 +352,42 @@ def main():
         ax.legend(fontsize=8)
         ax.set_title("Fast-checker decision time vs topology size")
         save(fig, "runtime_fastchecker.png")
+
+    if "runtime_controller" in rows:
+        # Decision latency and sustained throughput vs churn rate, cold
+        # vs incremental (DESIGN.md §12, EXPERIMENTS.md runtime section).
+        styles = {"cold": "o--", "incremental": "s-"}
+        by_mode = collections.defaultdict(lambda: ([], [], [], []))
+        for r in rows["runtime_controller"]:
+            mode, churn = r[1], float(r[2])
+            by_mode[mode][0].append(churn)
+            by_mode[mode][1].append(float(r[3]))   # dec/sec
+            by_mode[mode][2].append(float(r[5]))   # p50 ms
+            by_mode[mode][3].append(float(r[6]))   # p99 ms
+        for series in by_mode.values():
+            order = sorted(range(len(series[0])), key=lambda i: series[0][i])
+            for col in series:
+                col[:] = [col[i] for i in order]
+
+        fig, ax = plt.subplots()
+        for mode, (churn, _, p50, p99) in sorted(by_mode.items()):
+            style = styles.get(mode, "o-")
+            ax.loglog(churn, p99, style, label=f"{mode} p99")
+            ax.loglog(churn, p50, style, alpha=0.4, label=f"{mode} p50")
+        ax.set_xlabel("churn rate (telemetry events / day)")
+        ax.set_ylabel("per-event decision latency (ms)")
+        ax.legend(fontsize=8)
+        ax.set_title("Control loop: decision latency vs churn rate")
+        save(fig, "runtime_controller_latency.png")
+
+        fig, ax = plt.subplots()
+        for mode, (churn, dps, _, _) in sorted(by_mode.items()):
+            ax.loglog(churn, dps, styles.get(mode, "o-"), label=mode)
+        ax.set_xlabel("churn rate (telemetry events / day)")
+        ax.set_ylabel("sustained decisions / s")
+        ax.legend()
+        ax.set_title("Control loop: throughput vs churn rate")
+        save(fig, "runtime_controller_throughput.png")
 
     if "fleet" in rows:
         # Per-DC integrated penalty, sorted descending, colored by shape,
