@@ -1,0 +1,58 @@
+// Detection backend comparison: threshold vs 007-style voting vs
+// count-min sketch, across three fault mixes on the medium DCN.
+//
+// For each mix every backend replays the identical fault trace with the
+// identical simulation seed, so the rows isolate what the backend costs:
+// detection-latency distribution, false-positive / false-negative rates
+// against ground truth, and the end-to-end integrated-penalty delta
+// versus the SNMP threshold detector. Emits
+// BENCH_detection_compare.json (byte-identical for any --threads).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "detection_compare.h"
+
+using namespace corropt;
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
+  const common::SimDuration duration = args.duration_or(60 * common::kDay);
+
+  bench::print_header(
+      "Detection backend comparison (DESIGN.md §13)",
+      "threshold vs 007-voting vs sketch, 3 fault mixes, medium DCN");
+  std::printf("duration=%lld days, threads=%zu\n\n",
+              static_cast<long long>(duration / common::kDay), args.threads);
+
+  std::vector<bench::ScenarioJob> jobs =
+      bench::make_detection_compare_jobs(duration);
+  bench::set_collect_obs(jobs, args.obs);
+  bench::ScenarioRunner runner(args.threads);
+  const std::vector<bench::ScenarioResult> results = runner.run(jobs);
+
+  const std::vector<bench::DetectionCompareSummary> rows =
+      bench::summarize_detection_compare(results);
+  std::printf("%-32s %10s %8s %8s %8s %10s %10s %10s %12s\n", "scenario",
+              "detected", "fp_rate", "fn_rate", "p50_s", "p90_s", "p99_s",
+              "penalty", "d_vs_thresh");
+  for (const bench::DetectionCompareSummary& row : rows) {
+    std::printf("%-32s %10zu %8.4f %8.4f %8.0f %10.0f %10.0f %10.3e %+11.2f%%\n",
+                row.name.c_str(), row.polled_detections, row.fp_rate,
+                row.fn_rate, row.latency_p50_s, row.latency_p90_s,
+                row.latency_p99_s, row.integrated_penalty,
+                100.0 * row.penalty_delta_vs_threshold);
+    std::printf("csv,%s,%s,%zu,%zu,%zu,%.17g,%.17g,%.17g,%.17g,%.17g,%.17g\n",
+                row.backend.c_str(), row.mix.c_str(), row.polled_detections,
+                row.false_positives, row.missed, row.fp_rate, row.fn_rate,
+                row.latency_p50_s, row.latency_p90_s, row.latency_p99_s,
+                row.penalty_delta_vs_threshold);
+  }
+
+  const std::string path = args.json_path("detection_compare");
+  bench::write_detection_compare_json(path, results,
+                                      "bench_detection_compare");
+  std::printf("\nwrote %s\n", path.c_str());
+  bench::write_obs_outputs(args, "detection_compare",
+                           "bench_detection_compare", results);
+  return 0;
+}

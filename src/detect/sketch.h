@@ -1,0 +1,85 @@
+// Sketch-based flow-loss detector.
+//
+// Models a switch dataplane that cannot afford exact per-direction drop
+// registers: each switch keeps one count-min sketch (width x depth
+// counters, estimate = min over rows) over its egress directions. Every
+// poll cycle the drops each lossy direction would have recorded are
+// inserted under that direction's hashes; congestion noise bursts land
+// in the same sketch, indistinguishable from corruption. Every
+// `window_polls` cycles the backend decodes the sketch deltas of dirty
+// switches: a direction whose estimate implies a loss rate above the
+// report threshold for `persistence_windows` consecutive windows is
+// reported. False positives come from hash collisions — two directions
+// sharing cells in every row — which is exactly the width x depth
+// precision/recall trade bench_detection_compare sweeps.
+//
+// Determinism: all drop counts are drawn from CounterRng keyed on
+// (seed, direction, poll time) and noise from reserved streams, so the
+// backend never touches the shared sequential sim stream and results
+// are independent of evaluation order.
+#pragma once
+
+#include <vector>
+
+#include "detect/backend.h"
+
+namespace corropt::detect {
+
+class SketchBackend final : public DetectionBackend {
+ public:
+  SketchBackend(const SketchParams& params, const BackendEnv& env);
+
+  [[nodiscard]] BackendKind kind() const override {
+    return BackendKind::kSketch;
+  }
+  [[nodiscard]] std::string_view name() const override { return "sketch"; }
+
+  void poll(common::SimTime now, std::span<const common::LinkId> suspects,
+            const VerdictCallback& cb) override;
+  void reset(common::LinkId link) override;
+  void attach_sink(obs::Sink* sink) override;
+
+ private:
+  // Row-r cell index of a direction in its switch's sketch.
+  [[nodiscard]] std::size_t cell(common::DirectionId dir,
+                                 std::uint32_t row) const;
+  // Adds `drops` under every row hash of `dir` in the transmitting
+  // switch's (lazily allocated) sketch.
+  void insert(common::DirectionId dir, std::uint64_t drops);
+  // Count-min point query for one direction; 0 when the transmitting
+  // switch never allocated a sketch.
+  [[nodiscard]] std::uint64_t query(common::DirectionId dir) const;
+  // End-of-window decode over dirty switches + believed links, then
+  // clears all sketch deltas.
+  void decode(common::SimTime now, const VerdictCallback& cb);
+
+  const topology::Topology* topo_;
+  const telemetry::NetworkState* state_;
+  SketchParams params_;
+  std::uint64_t seed_ = 0;
+  // Offered packets per direction per poll cycle.
+  double offered_per_cycle_ = 0.0;
+
+  std::uint64_t cycle_ = 0;
+  // Per-switch sketches; empty vector = never allocated. Allocated size
+  // is width * depth, row-major.
+  std::vector<std::vector<std::uint64_t>> sketches_;
+  // Exact per-direction insertion totals this window, so reset(link) can
+  // subtract a direction's contribution from every row without touching
+  // colliding directions.
+  std::vector<std::uint64_t> inserted_;
+  // Switches whose sketch received insertions this window.
+  std::vector<char> dirty_;
+  std::vector<common::SwitchId> dirty_list_;
+  // Per-link verdict state: consecutive above-threshold windows and the
+  // current belief.
+  std::vector<int> above_;
+  std::vector<char> believed_;
+  // Scratch for candidate gathering during decode.
+  std::vector<char> link_mark_;
+
+  obs::Counter obs_inserts_;
+  obs::Counter obs_decodes_;
+};
+
+}  // namespace corropt::detect

@@ -1,0 +1,35 @@
+#include "detect/threshold.h"
+
+namespace corropt::detect {
+
+ThresholdBackend::ThresholdBackend(const telemetry::DetectorParams& params,
+                                   const BackendEnv& env)
+    : monitor_(*env.state, *env.rng),
+      detector_(*env.topo, params),
+      utilization_(env.poll_utilization) {}
+
+void ThresholdBackend::poll(common::SimTime now,
+                            std::span<const common::LinkId> suspects,
+                            const VerdictCallback& cb) {
+  telemetry::DirectionLoad load;
+  load.utilization = utilization_;
+  for (common::LinkId link : suspects) {
+    for (const topology::LinkDirection dir :
+         {topology::LinkDirection::kUp, topology::LinkDirection::kDown}) {
+      const auto direction = topology::direction_id(link, dir);
+      const telemetry::PollSample sample =
+          monitor_.poll_direction(direction, now, load);
+      const auto verdict = detector_.observe(sample);
+      if (verdict.has_value()) cb(*verdict);
+    }
+  }
+}
+
+void ThresholdBackend::reset(common::LinkId link) { detector_.reset(link); }
+
+void ThresholdBackend::attach_sink(obs::Sink* sink) {
+  monitor_.set_sink(sink);
+  detector_.set_sink(sink);
+}
+
+}  // namespace corropt::detect

@@ -42,6 +42,7 @@ DcResult run_dc(const FleetSpec& fleet, const DcSpec& dc, bool collect_obs) {
   result.name = dc.name;
   result.key = dc.key;
   result.shape = dc.shape;
+  result.backend = dc.config.backend.kind;
   result.link_count = topo.link_count();
   result.switch_count = topo.switch_count();
   result.trace_events = events.size();

@@ -25,6 +25,9 @@ struct DcResult {
   std::string name;
   std::uint64_t key = 0;
   DcShape shape = DcShape::kMediumDcn;
+  // Detection backend the DC's config selected; tagged in the JSON row
+  // only when non-default, so all-threshold fleets serialize unchanged.
+  detect::BackendKind backend = detect::BackendKind::kThreshold;
   std::size_t link_count = 0;
   std::size_t switch_count = 0;
   std::size_t trace_events = 0;

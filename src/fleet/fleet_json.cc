@@ -16,6 +16,11 @@ void write_dc_row(common::JsonWriter& json, const DcResult& dc) {
   json.key("tags").begin_object();
   json.member("shape", shape_name(dc.shape));
   json.member("key", dc.key);
+  if (dc.backend != detect::BackendKind::kThreshold) {
+    // Tagged only when non-default so all-threshold fleet documents
+    // (BENCH_fleet.json) serialize byte-for-byte as before.
+    json.member("backend", std::string(detect::backend_name(dc.backend)));
+  }
   json.end_object();
   json.member("link_count", dc.link_count);
   json.member("switch_count", dc.switch_count);

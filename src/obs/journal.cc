@@ -36,6 +36,8 @@ std::string_view kind_name(EventKind kind) {
       return "penalty_sample";
     case EventKind::kFaultInjected:
       return "fault_injected";
+    case EventKind::kDetectionVerdict:
+      return "detection_verdict";
   }
   return "unknown";
 }

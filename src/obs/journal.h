@@ -69,6 +69,13 @@ enum class EventKind : std::uint8_t {
   kPenaltySample,
   // detail0 = links struck by the fault, detail1 = root-cause index.
   kFaultInjected,
+  // Detection-backend verdict (opt-in detailed obs; DESIGN.md §13).
+  // value = estimated rate, value2 = 1.0 when the verdict was a false
+  // positive (link below the lossy threshold at verdict time), detail0 =
+  // detection latency in seconds (corrupting verdicts with a pending
+  // fault only), detail1 = detect::BackendKind index. reason =
+  // kSucceeded for corrupting verdicts, kNone for clears.
+  kDetectionVerdict,
 };
 
 enum class EventReason : std::uint8_t {

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/time.h"
+#include "detect/config.h"
 #include "service/telemetry_event.h"
 #include "topology/topology.h"
 #include "trace/trace.h"
@@ -28,6 +29,12 @@ struct ChurnParams {
   // Fraction of reports monitoring withdraws without a repair.
   double p_cleared_without_repair = 0.1;
   std::uint64_t seed = 1;
+  // Detection backend shaping the stream (detect::backend_profile): a
+  // non-threshold backend delays each detection by its extra latency and
+  // interleaves spurious report/retraction pairs at its false-positive
+  // rate. All shaping draws are counter-keyed, so the default threshold
+  // stream is byte-identical to a ChurnParams without this field.
+  detect::BackendConfig backend;
 };
 
 // Synthesizes the telemetry stream. Per fault, each affected link whose

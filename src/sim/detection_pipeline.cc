@@ -7,16 +7,35 @@
 namespace corropt::sim {
 
 DetectionPipeline::DetectionPipeline(SimContext& ctx)
-    : ctx_(ctx),
-      monitor_(ctx.state, ctx.rng),
-      detector_(ctx.topo, ctx.config.detector) {
+    : ctx_(ctx), obs_detail_(ctx.config.backend.detailed_obs()) {
+  detect::BackendEnv env;
+  env.topo = &ctx.topo;
+  env.state = &ctx.state;
+  env.rng = &ctx.rng;
+  env.seed = ctx.config.seed;
+  env.poll_utilization = ctx.config.poll_utilization;
+  backend_ =
+      detect::make_backend(ctx.config.backend, ctx.config.detector, env);
   ctx_.queue.set_handler(EventType::kPoll,
                          [this](const Event& event) { handle_poll(event); });
 }
 
 void DetectionPipeline::attach_sink(obs::Sink* sink) {
-  monitor_.set_sink(sink);
-  detector_.set_sink(sink);
+  backend_->attach_sink(sink);
+  if (!obs_detail_ || sink == nullptr || sink->metrics == nullptr) {
+    obs_verdicts_ = obs::Counter();
+    obs_clears_ = obs::Counter();
+    obs_false_positives_ = obs::Counter();
+    obs_missed_ = obs::Counter();
+    obs_latency_ = obs::Histogram();
+    return;
+  }
+  obs_verdicts_ = sink->metrics->counter("detect.verdicts");
+  obs_clears_ = sink->metrics->counter("detect.clears");
+  obs_false_positives_ = sink->metrics->counter("detect.false_positives");
+  obs_missed_ = sink->metrics->counter("detect.missed");
+  obs_latency_ = sink->metrics->histogram(
+      "detect.latency_s", {900, 1800, 3600, 7200, 14400, 28800, 86400});
 }
 
 void DetectionPipeline::start() {
@@ -45,21 +64,85 @@ void DetectionPipeline::on_fault(const faults::Fault& fault) {
 }
 
 void DetectionPipeline::expect_redetection(common::LinkId link, SimTime now) {
-  detector_.reset(link);
+  backend_->reset(link);
   pending_detection_[link] = now;
 }
 
 void DetectionPipeline::on_repair_success(common::LinkId link) {
-  detector_.reset(link);
+  backend_->reset(link);
   pending_detection_.erase(link);
 }
 
-void DetectionPipeline::reset(common::LinkId link) { detector_.reset(link); }
+void DetectionPipeline::reset(common::LinkId link) { backend_->reset(link); }
 
 void DetectionPipeline::finalize(SimulationMetrics& metrics) const {
   if (metrics.polled_detections > 0) {
     metrics.mean_detection_latency_s /=
         static_cast<double>(metrics.polled_detections);
+  }
+}
+
+void DetectionPipeline::handle_verdict(const detect::Verdict& verdict,
+                                       SimTime now) {
+  SimulationMetrics& metrics = *ctx_.metrics;
+  if (verdict.kind == detect::Verdict::Kind::kCorrupting) {
+    ++metrics.polled_detections;
+    std::uint64_t latency_s = 0;
+    bool had_pending = false;
+    const auto pending = pending_detection_.find(verdict.link);
+    if (pending != pending_detection_.end()) {
+      metrics.mean_detection_latency_s +=
+          static_cast<double>(now - pending->second);
+      latency_s = static_cast<std::uint64_t>(now - pending->second);
+      had_pending = true;
+      metrics.detection_latencies_s.push_back(static_cast<double>(latency_s));
+      pending_detection_.erase(pending);
+    }
+    // Ground truth is one state lookup away in simulation: a verdict on
+    // a link below the lossy threshold is a backend false positive.
+    const bool false_positive =
+        ctx_.state.link_corruption_rate(verdict.link) <
+        ctx_.config.detector.lossy_threshold;
+    if (false_positive) ++metrics.false_positive_detections;
+    {
+      obs::Event journal_event;
+      journal_event.kind = obs::EventKind::kPolledDetection;
+      journal_event.link = verdict.link;
+      journal_event.value = verdict.loss_rate;
+      journal_event.detail0 = latency_s;
+      ctx_.emit(journal_event);
+    }
+    if (obs_detail_) {
+      obs_verdicts_.add();
+      if (false_positive) obs_false_positives_.add();
+      if (had_pending) obs_latency_.record(static_cast<double>(latency_s));
+      obs::Event journal_event;
+      journal_event.kind = obs::EventKind::kDetectionVerdict;
+      journal_event.reason = obs::EventReason::kSucceeded;
+      journal_event.link = verdict.link;
+      journal_event.value = verdict.loss_rate;
+      journal_event.value2 = false_positive ? 1.0 : 0.0;
+      journal_event.detail0 = latency_s;
+      journal_event.detail1 = static_cast<std::uint64_t>(backend_->kind());
+      ctx_.emit(journal_event);
+    }
+    const bool disabled =
+        ctx_.controller.on_corruption_detected(verdict.link,
+                                               verdict.loss_rate);
+    if (!disabled && ctx_.topo.is_enabled(verdict.link)) {
+      ++metrics.undisabled_detections;
+    }
+  } else {
+    if (obs_detail_) {
+      obs_clears_.add();
+      obs::Event journal_event;
+      journal_event.kind = obs::EventKind::kDetectionVerdict;
+      journal_event.link = verdict.link;
+      journal_event.value = verdict.loss_rate;
+      journal_event.detail1 = static_cast<std::uint64_t>(backend_->kind());
+      ctx_.emit(journal_event);
+    }
+    ctx_.controller.on_corruption_cleared(verdict.link);
   }
 }
 
@@ -70,6 +153,7 @@ void DetectionPipeline::handle_poll(const Event& event) {
 
   // Suspect set: links with an active fault, plus links the pipeline or
   // controller still believes corrupting (to observe their recovery).
+  // Counter-based backends gather fabric-wide evidence and ignore it.
   std::vector<common::LinkId> suspects;
   auto add = [this, &suspects](common::LinkId link) {
     char& mark = ctx_.link_mark[link.index()];
@@ -86,49 +170,21 @@ void DetectionPipeline::handle_poll(const Event& event) {
   for (const auto& [link, onset] : pending_detection_) add(link);
   for (common::LinkId link : suspects) ctx_.link_mark[link.index()] = 0;
 
-  telemetry::DirectionLoad load;
-  load.utilization = ctx_.config.poll_utilization;
-  for (common::LinkId link : suspects) {
-    for (const topology::LinkDirection dir :
-         {topology::LinkDirection::kUp, topology::LinkDirection::kDown}) {
-      const auto direction = topology::direction_id(link, dir);
-      const telemetry::PollSample sample =
-          monitor_.poll_direction(direction, now, load);
-      const auto verdict = detector_.observe(sample);
-      if (!verdict.has_value()) continue;
-      if (verdict->kind == telemetry::DetectionEvent::Kind::kCorrupting) {
-        ++metrics.polled_detections;
-        std::uint64_t latency_s = 0;
-        const auto pending = pending_detection_.find(verdict->link);
-        if (pending != pending_detection_.end()) {
-          metrics.mean_detection_latency_s +=
-              static_cast<double>(now - pending->second);
-          latency_s = static_cast<std::uint64_t>(now - pending->second);
-          pending_detection_.erase(pending);
-        }
-        {
-          obs::Event journal_event;
-          journal_event.kind = obs::EventKind::kPolledDetection;
-          journal_event.link = verdict->link;
-          journal_event.value = verdict->loss_rate;
-          journal_event.detail0 = latency_s;
-          ctx_.emit(journal_event);
-        }
-        const bool disabled = ctx_.controller.on_corruption_detected(
-            verdict->link, verdict->loss_rate);
-        if (!disabled && ctx_.topo.is_enabled(verdict->link)) {
-          ++metrics.undisabled_detections;
-        }
-      } else {
-        ctx_.controller.on_corruption_cleared(verdict->link);
-      }
-    }
-  }
+  // Verdicts are handled as they are produced: the controller may
+  // disable a link mid-cycle, and later samples of the same cycle must
+  // observe that (disabled links carry no traffic).
+  backend_->poll(now, suspects,
+                 [this, now](const detect::Verdict& verdict) {
+                   handle_verdict(verdict, now);
+                 });
 
   // Drop pending entries whose fault disappeared before detection (e.g.
-  // a shared-component repair through a peer's ticket).
+  // a shared-component repair through a peer's ticket): the backend
+  // never noticed them — false negatives.
   for (auto it = pending_detection_.begin(); it != pending_detection_.end();) {
     if (ctx_.injector.faults_on_link(it->first).empty()) {
+      ++metrics.missed_detections;
+      obs_missed_.add();
       it = pending_detection_.erase(it);
     } else {
       ++it;

@@ -1,33 +1,39 @@
 // DetectionPipeline: how the controller learns that links corrupt.
 //
-// Owns the closed-loop monitoring stack (telemetry::PollingMonitor +
-// telemetry::CorruptionDetector) and the pending-detection latency
-// accounting. In kOracle mode fault onsets are forwarded to the
-// controller immediately with exact loss rates (the paper's modeling
-// shortcut); in kPolled mode the component schedules a kPoll event
-// every 15 minutes, polls the suspect set, and feeds detector verdicts
-// to the controller with realistic latency.
+// Owns the poll cadence, the suspect set, the pending-detection latency
+// accounting and the controller hand-off; the evidence gathering itself
+// is delegated to a detect::DetectionBackend selected by
+// ScenarioConfig::backend (SNMP threshold / 007-style voting /
+// count-min sketch — DESIGN.md §13). In kOracle mode fault onsets are
+// forwarded to the controller immediately with exact loss rates (the
+// paper's modeling shortcut); in kPolled mode the component schedules a
+// kPoll event every 15 minutes, runs the backend over the suspect set,
+// and feeds its verdicts to the controller with realistic latency.
 #pragma once
 
+#include <memory>
 #include <unordered_map>
 
 #include "common/ids.h"
+#include "detect/backend.h"
 #include "faults/fault.h"
 #include "sim/sim_context.h"
-#include "telemetry/detector.h"
-#include "telemetry/monitor.h"
 
 namespace corropt::sim {
 
 class DetectionPipeline {
  public:
-  // Registers the kPoll handler on the kernel.
+  // Registers the kPoll handler on the kernel and builds the configured
+  // backend (always, so counter registration does not depend on the
+  // detection mode).
   explicit DetectionPipeline(SimContext& ctx);
 
-  // Wires the monitor/detector observability counters. Called by the
-  // composition layer after the controller's sink is attached, so the
-  // registry's registration order (and hence snapshot order) matches
-  // the order counters are first touched: controller, monitor, detector.
+  // Wires the backend's observability counters (monitor/detector for the
+  // threshold backend) plus, when ScenarioConfig::backend opts in, the
+  // pipeline's own detect.* verdict counters. Called by the composition
+  // layer after the controller's sink is attached, so the registry's
+  // registration order (and hence snapshot order) matches the order
+  // counters are first touched: controller, backend, pipeline.
   void attach_sink(obs::Sink* sink);
 
   // Schedules the first poll cycle (kPolled mode only); call once per
@@ -44,28 +50,44 @@ class DetectionPipeline {
   // start the latency clock.
   void expect_redetection(common::LinkId link, SimTime now);
 
-  // A repair fully fixed the link: clear the detector window and any
-  // pending-detection entry.
+  // A repair fully fixed the link: clear the backend's window/alert
+  // state and any pending-detection entry.
   void on_repair_success(common::LinkId link);
 
   // A shared-component repair silenced a peer link (polled mode only
-  // forgets its detector window).
+  // forgets its backend state).
   void reset(common::LinkId link);
 
   // Finalizes the mean detection latency; call at end of run.
   void finalize(SimulationMetrics& metrics) const;
 
+  // The active backend (for tests and benches).
+  [[nodiscard]] const detect::DetectionBackend& backend() const {
+    return *backend_;
+  }
+
  private:
-  // One 15-minute SNMP cycle: polls the suspect set and feeds the
-  // detector, forwarding verdicts to the controller.
+  // One 15-minute cycle: builds the suspect set, runs the backend, and
+  // sweeps pending entries whose fault vanished undetected.
   void handle_poll(const Event& event);
+  // Books one backend verdict: metrics, latency, ground-truth false
+  // positive classification, journal, controller hand-off.
+  void handle_verdict(const detect::Verdict& verdict, SimTime now);
 
   SimContext& ctx_;
-  telemetry::PollingMonitor monitor_;
-  telemetry::CorruptionDetector detector_;
+  std::unique_ptr<detect::DetectionBackend> backend_;
+  // ScenarioConfig::backend.detailed_obs() at construction: whether the
+  // detect.* counters and kDetectionVerdict journal records are live.
+  bool obs_detail_ = false;
   // Onset time of the oldest unobserved fault per link, for latency
   // accounting. Links without pending detection are absent.
   std::unordered_map<common::LinkId, SimTime> pending_detection_;
+
+  obs::Counter obs_verdicts_;
+  obs::Counter obs_clears_;
+  obs::Counter obs_false_positives_;
+  obs::Counter obs_missed_;
+  obs::Histogram obs_latency_;
 };
 
 }  // namespace corropt::sim

@@ -46,6 +46,16 @@ struct SimulationMetrics {
   // mean latency from fault onset to detection.
   std::size_t polled_detections = 0;
   double mean_detection_latency_s = 0.0;
+  // kPolled only, judged against ground truth at verdict time:
+  // detections whose link was below the lossy threshold (backend false
+  // positives) and faults that cleared before the backend ever noticed
+  // them (false negatives). Struct-only — not folded into the registry,
+  // so golden registry snapshots are unaffected.
+  std::size_t false_positive_detections = 0;
+  std::size_t missed_detections = 0;
+  // Per-detection onset-to-verdict latencies (seconds), for the latency
+  // distribution bench_detection_compare reports.
+  std::vector<double> detection_latencies_s;
   // Mean time from ticket open to technician completion (includes any
   // crew backlog when ScenarioConfig::queue bounds the technicians).
   double mean_ticket_resolution_s = 0.0;

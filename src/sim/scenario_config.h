@@ -12,6 +12,7 @@
 #include "common/ids.h"
 #include "common/time.h"
 #include "corropt/controller.h"
+#include "detect/config.h"
 #include "obs/sink.h"
 #include "repair/technician.h"
 #include "repair/ticket.h"
@@ -82,6 +83,11 @@ struct ScenarioConfig {
   DetectionMode detection = DetectionMode::kOracle;
   telemetry::DetectorParams detector;
   double poll_utilization = 0.3;
+  // Which detection/localization backend gathers the evidence within
+  // each poll cycle (DESIGN.md §13). The default threshold backend is
+  // byte-identical to the pre-seam pipeline; 007-style voting and the
+  // count-min sketch detector draw only from counter-keyed streams.
+  detect::BackendConfig backend;
 
   // Section 8 extension: model the collateral impact of repair. When a
   // breakout-bundle link is repaired, its healthy siblings go down for a

@@ -134,6 +134,59 @@ class RepairPipeline:
         print_latency_row("disable -> re-enabled", self.disable_to_enable)
 
 
+class DetectionVerdicts:
+    """Summarizes detection_verdict records (detailed-obs backends).
+
+    Each record carries: value = estimated loss rate, value2 = 1.0 when
+    the verdict is a false positive against simulator ground truth,
+    d0 = fault-onset-to-detection latency in seconds, d1 = backend kind
+    (enum index: 0 threshold, 1 voting, 2 sketch). Clears carry no
+    "reason"; corrupting verdicts carry reason == "succeeded".
+    """
+
+    BACKENDS = {0: "threshold", 1: "voting", 2: "sketch"}
+
+    def __init__(self):
+        self.corrupting = collections.Counter()
+        self.cleared = collections.Counter()
+        self.false_positives = collections.Counter()
+        self.latencies = collections.defaultdict(list)
+
+    def feed(self, event):
+        if event.get("kind") != "detection_verdict":
+            return
+        backend = self.BACKENDS.get(event.get("d1", 0), "unknown")
+        if event.get("reason") == "succeeded":
+            self.corrupting[backend] += 1
+            if event.get("value2", 0.0) == 1.0:
+                self.false_positives[backend] += 1
+            latency = event.get("d0")
+            if latency:
+                self.latencies[backend].append(float(latency))
+        else:
+            self.cleared[backend] += 1
+
+    def report(self):
+        backends = sorted(
+            set(self.corrupting) | set(self.cleared), key=str
+        )
+        if not backends:
+            return
+        print("\ndetection verdicts by backend:")
+        for backend in backends:
+            corrupting = self.corrupting[backend]
+            fp = self.false_positives[backend]
+            fp_rate = fp / corrupting if corrupting else float("nan")
+            print(
+                f"  {backend:<12} corrupting={corrupting:<7} "
+                f"cleared={self.cleared[backend]:<7} "
+                f"false_pos={fp} (rate={fp_rate:.3f})"
+            )
+        print("detection latency (fault onset -> verdict):")
+        for backend in backends:
+            print_latency_row(backend, self.latencies[backend])
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("paths", nargs="+", help="journal JSONL files ('-' = stdin)")
@@ -148,6 +201,7 @@ def main():
     scenario_kind_counts = collections.defaultdict(collections.Counter)
     scenarios = []
     pipeline = RepairPipeline()
+    verdicts = DetectionVerdicts()
     total = 0
     for event in read_events(args.paths):
         total += 1
@@ -158,6 +212,7 @@ def main():
             scenarios.append(scenario)
         scenario_kind_counts[scenario][kind] += 1
         pipeline.feed(event)
+        verdicts.feed(event)
 
     print(f"{total} events, {len(scenarios)} scenario(s)\n")
     print("events by kind:")
@@ -172,6 +227,7 @@ def main():
                 print(f"  {kind:<24} {count}")
             print()
     pipeline.report()
+    verdicts.report()
 
 
 if __name__ == "__main__":

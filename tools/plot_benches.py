@@ -155,6 +155,21 @@ def absorb_json(doc, rows):
                 repr(metrics["p50_ms"]),
                 repr(metrics["p99_ms"]),
             ])
+    elif exhibit == "detection_compare":
+        # One row per backend x fault-mix cell: latency percentiles plus
+        # the accuracy/penalty trade against the threshold baseline.
+        for scenario in doc["scenarios"]:
+            tags = scenario["tags"]
+            det = scenario["detection"]
+            rows["detection_compare"].append([
+                tags["backend"], tags["mix"],
+                repr(det["latency_p50_s"]),
+                repr(det["latency_p90_s"]),
+                repr(det["latency_p99_s"]),
+                repr(det["fp_rate"]),
+                repr(det["fn_rate"]),
+                repr(det["penalty_delta_vs_threshold"]),
+            ])
     # Other exhibits (sec73, sec51_tiers, ablation_penalty, ...) carry
     # their full metrics in JSON but have no standard plot here yet.
 
@@ -388,6 +403,44 @@ def main():
         ax.legend()
         ax.set_title("Control loop: throughput vs churn rate")
         save(fig, "runtime_controller_throughput.png")
+
+    if "detection_compare" in rows:
+        # Detection-latency distribution per backend: the three reported
+        # percentile points, one line per backend x fault mix.
+        backend_colors = {"threshold": "C0", "voting": "C1", "sketch": "C2"}
+        mix_styles = {"table2": "-", "contamination_heavy": "--",
+                      "shared_heavy": ":"}
+        fig, ax = plt.subplots()
+        for r in rows["detection_compare"]:
+            backend, mix = r[0], r[1]
+            latencies = [float(r[2]), float(r[3]), float(r[4])]
+            ax.semilogx(latencies, [0.50, 0.90, 0.99],
+                        marker="o",
+                        linestyle=mix_styles.get(mix, "-"),
+                        color=backend_colors.get(backend, "C7"),
+                        label=f"{backend} ({mix})")
+        ax.set_xlabel("fault onset to detection (s)")
+        ax.set_ylabel("CDF (p50 / p90 / p99)")
+        ax.set_ylim(0.4, 1.0)
+        ax.legend(fontsize=6)
+        ax.set_title("Detection latency by backend and fault mix")
+        save(fig, "detection_latency_cdf.png")
+
+        # The accuracy/penalty trade: false-positive rate against the
+        # end-to-end penalty delta vs the threshold baseline.
+        fig, ax = plt.subplots()
+        for r in rows["detection_compare"]:
+            backend, mix = r[0], r[1]
+            fp_rate, delta = float(r[5]), float(r[7])
+            ax.scatter(fp_rate, 100.0 * delta,
+                       color=backend_colors.get(backend, "C7"))
+            ax.annotate(f"{backend}/{mix}", (fp_rate, 100.0 * delta),
+                        fontsize=5, alpha=0.8)
+        ax.axhline(0.0, linestyle="--", color="grey")
+        ax.set_xlabel("false-positive rate")
+        ax.set_ylabel("integrated-penalty delta vs threshold (%)")
+        ax.set_title("Detection backends: FP rate vs end-to-end penalty")
+        save(fig, "detection_fp_vs_penalty.png")
 
     if "fleet" in rows:
         # Per-DC integrated penalty, sorted descending, colored by shape,
