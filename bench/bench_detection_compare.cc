@@ -28,7 +28,18 @@ int main(int argc, char** argv) {
       bench::make_detection_compare_jobs(duration);
   bench::set_collect_obs(jobs, args.obs);
   bench::ScenarioRunner runner(args.threads);
-  const std::vector<bench::ScenarioResult> results = runner.run(jobs);
+  // Within a mix the three backends share trace + sim seed but diverge
+  // at the first poll cycle, so each mix's rows fork from a step-0
+  // checkpoint of the mix's threshold base (DESIGN.md §14). Results are
+  // byte-identical to fresh end-to-end runs, for any --threads.
+  std::vector<bench::ScenarioResult> results;
+  for (std::size_t group = 0; group < jobs.size(); group += 3) {
+    const std::vector<bench::ScenarioJob> mix_jobs(
+        jobs.begin() + group, jobs.begin() + group + 3);
+    std::vector<bench::ScenarioResult> mix_results =
+        runner.run_branched(mix_jobs, bench::BranchedSweep{});
+    for (auto& result : mix_results) results.push_back(std::move(result));
+  }
 
   const std::vector<bench::DetectionCompareSummary> rows =
       bench::summarize_detection_compare(results);

@@ -38,7 +38,19 @@ int main(int argc, char** argv) {
     jobs.push_back(std::move(job));
   }
   bench::set_collect_obs(jobs, args.obs);
-  const auto results = bench::ScenarioRunner(args.threads).run(jobs);
+  // The crew bound is inert until the first ticket can exist, so all six
+  // scenarios share the prefix up to (just before) the first fault onset
+  // and fork from one checkpoint (DESIGN.md §14). Byte-identical to
+  // running each scenario end to end.
+  bench::BranchedSweep sweep;
+  sweep.make_stop = [](const std::vector<trace::TraceEvent>& events) {
+    const common::SimTime onset = events.empty() ? 0 : events.front().time;
+    return [onset](const sim::MitigationSimulation& sim) {
+      return sim.now() + common::kHour >= onset;
+    };
+  };
+  const auto results =
+      bench::ScenarioRunner(args.threads).run_branched(jobs, sweep);
 
   std::printf("%14s %18s %16s %12s\n", "technicians", "mean resolution",
               "penalty", "tickets");

@@ -43,7 +43,14 @@ int main(int argc, char** argv) {
     jobs.push_back(std::move(job));
   }
   bench::set_collect_obs(jobs, args.obs);
-  const auto results = bench::ScenarioRunner(args.threads).run(jobs);
+  // Oracle and polled detection diverge at the very first poll cycle
+  // (15 minutes in), so the shareable prefix is the begin_run boundary:
+  // both scenarios fork from one step-0 checkpoint of the polled base
+  // (the oracle branch's restore drops the poll chain; DESIGN.md §14).
+  bench::BranchedSweep sweep;
+  sweep.base = 1;  // polled
+  const auto results =
+      bench::ScenarioRunner(args.threads).run_branched(jobs, sweep);
 
   std::printf("%-24s %16s %14s %16s\n", "detection", "penalty",
               "detections", "mean latency");

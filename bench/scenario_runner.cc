@@ -81,6 +81,78 @@ std::vector<ScenarioResult> ScenarioRunner::run(
   return results;
 }
 
+std::vector<ScenarioResult> ScenarioRunner::run_branched(
+    const std::vector<ScenarioJob>& jobs, const BranchedSweep& sweep) {
+  if (jobs.empty()) return {};
+  const ScenarioJob& base_job = jobs.at(sweep.base);
+
+  // Shared inputs, computed once: the trace all jobs replay.
+  topology::Topology trace_topo = base_job.topology();
+  common::Rng trace_rng(base_job.trace_seed);
+  const std::vector<trace::TraceEvent> events =
+      trace::CorruptionTraceGenerator(trace_topo, base_job.trace, trace_rng)
+          .generate();
+
+  // The base prefix runs with its own sink when the sweep collects obs:
+  // the checkpoint then carries the journal/registry prefix into every
+  // branch, which replays it into the branch's sink on restore.
+  obs::MetricsRegistry base_registry;
+  obs::EventJournal base_journal;
+  obs::Sink base_sink{&base_registry, &base_journal, nullptr, 0};
+  sim::ScenarioConfig base_config = base_job.config;
+  if (base_job.collect_obs && base_config.sink == nullptr) {
+    base_config.sink = &base_sink;
+  }
+
+  sim::BranchRunner runner(base_job.topology);
+  sim::StopPredicate stop =
+      sweep.make_stop ? sweep.make_stop(events) : sim::StopPredicate{};
+  if (!stop) {
+    // No boundary requested: freeze immediately (the begin_run boundary).
+    stop = [](const sim::MitigationSimulation&) { return true; };
+  }
+  const sim::Checkpoint checkpoint =
+      runner.checkpoint_base(base_config, events, stop);
+  if (checkpoint.empty()) {
+    // The prefix covered the whole horizon — nothing left to fork.
+    return run(jobs);
+  }
+
+  std::vector<ScenarioResult> results(jobs.size());
+  common::parallel_for_each(pool_, jobs.size(), [&](std::size_t i) {
+    const auto start = std::chrono::steady_clock::now();
+    const ScenarioJob& job = jobs[i];
+    topology::Topology topo = job.topology();
+    obs::MetricsRegistry registry;
+    obs::EventJournal journal;
+    obs::Sink sink{&registry, &journal, nullptr, 0};
+    sim::ScenarioConfig config = job.config;
+    const bool collect = job.collect_obs && config.sink == nullptr;
+    if (collect) config.sink = &sink;
+
+    sim::MitigationSimulation sim(topo, config);
+    sim.restore_run(events, checkpoint);
+    while (sim.step()) {
+    }
+    ScenarioResult result;
+    result.name = job.name;
+    result.tags = job.tags;
+    result.metrics = sim.finish_run();
+    result.link_count = topo.link_count();
+    if (collect) {
+      result.has_obs = true;
+      result.obs_metrics = registry.snapshot();
+      result.journal = journal.snapshot();
+      result.journal_dropped = journal.dropped();
+    }
+    result.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    results[i] = std::move(result);
+  });
+  return results;
+}
+
 ScenarioResult run_job(const ScenarioJob& job) {
   const auto start = std::chrono::steady_clock::now();
   topology::Topology topo = job.topology();

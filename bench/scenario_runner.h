@@ -24,6 +24,7 @@
 #include "common/json.h"
 #include "common/thread_pool.h"
 #include "obs/sink.h"
+#include "sim/branch_runner.h"
 #include "sim/mitigation_sim.h"
 #include "topology/topology.h"
 #include "trace/trace.h"
@@ -73,6 +74,20 @@ struct ScenarioResult {
   std::uint64_t journal_dropped = 0;
 };
 
+// Describes the shared prefix of a branched sweep (run_branched below).
+struct BranchedSweep {
+  // Index of the job whose configuration runs the shared prefix. Any
+  // job works when the sweep's variable is prefix-inert; by convention
+  // the first.
+  std::size_t base = 0;
+  // Builds the stop predicate once the shared trace is known — the
+  // prefix-inert boundary usually depends on the first fault onset.
+  // Returning an always-true predicate checkpoints at the begin_run
+  // boundary (step 0).
+  std::function<sim::StopPredicate(const std::vector<trace::TraceEvent>&)>
+      make_stop;
+};
+
 class ScenarioRunner {
  public:
   // Workers are spawned once and reused across run() calls.
@@ -87,6 +102,22 @@ class ScenarioRunner {
   // has finished.
   [[nodiscard]] std::vector<ScenarioResult> run(
       const std::vector<ScenarioJob>& jobs);
+
+  // Shared-prefix variant of run() (DESIGN.md §14): the base job's
+  // scenario is executed once up to the boundary where `sweep.stop`
+  // first fires, frozen as a sim::Checkpoint, and every job then forks
+  // from that checkpoint instead of replaying the prefix itself.
+  //
+  // Contract: all jobs must share the base job's topology factory
+  // output, trace parameters and trace seed, and their configurations
+  // must be behaviorally identical up to the checkpoint boundary (the
+  // sweep's variable — crew bound, detection backend, checker mode —
+  // must be prefix-inert there). Under that contract the results are
+  // byte-identical to run(): metrics, journal and registry all follow
+  // the branch equivalence contract. When the stop predicate never
+  // fires before the horizon, falls back to run().
+  [[nodiscard]] std::vector<ScenarioResult> run_branched(
+      const std::vector<ScenarioJob>& jobs, const BranchedSweep& sweep);
 
   // Generic fan-out on the runner's pool: invokes make(0) .. make(count
   // - 1) across the workers and returns the results in index order.

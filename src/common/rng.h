@@ -12,6 +12,8 @@
 #include <span>
 #include <vector>
 
+#include "common/snapshot.h"
+
 namespace corropt::common {
 
 class Rng {
@@ -65,6 +67,13 @@ class Rng {
   // Samples k distinct indices from [0, n) (k <= n), in random order.
   std::vector<std::size_t> sample_without_replacement(std::size_t n,
                                                       std::size_t k);
+
+  // Checkpointing (DESIGN.md §14): the complete generator state — the
+  // four xoshiro words plus the Marsaglia cached second normal, which
+  // is genuine hidden state (dropping it would shift every later
+  // normal() draw by one).
+  void snapshot_to(snap::Writer& w) const;
+  void restore_from(snap::Reader& r);
 
  private:
   std::array<std::uint64_t, 4> state_{};

@@ -243,4 +243,53 @@ void Controller::on_corruption_cleared(common::LinkId link) {
   corruption_.unmark(link);
 }
 
+void Controller::snapshot_to(common::snap::Writer& w) const {
+  w.section(common::snap::tag('C', 'T', 'R', 'L'), 1);
+  w.u64(stats_.corruption_reports);
+  w.u64(stats_.disabled_on_arrival);
+  w.u64(stats_.disabled_on_activation);
+  w.u64(stats_.tickets_issued);
+  w.u64(stats_.optimizer_runs);
+  corruption_.snapshot_to(w);
+  fast_checker_.snapshot_to(w);
+  w.boolean(audit_enabled_);
+  w.u64(audit_capacity_);
+  w.u64(audit_log_.size());
+  for (const ActionRecord& record : audit_log_) {
+    w.u8(static_cast<std::uint8_t>(record.kind));
+    w.u32(record.link.value());
+    w.f64(record.loss_rate);
+    w.u64(record.detail);
+  }
+}
+
+void Controller::restore_from(common::snap::Reader& r) {
+  r.expect_section(common::snap::tag('C', 'T', 'R', 'L'));
+  stats_.corruption_reports = r.u64();
+  stats_.disabled_on_arrival = r.u64();
+  stats_.disabled_on_activation = r.u64();
+  stats_.tickets_issued = r.u64();
+  stats_.optimizer_runs = r.u64();
+  corruption_.restore_from(r);
+  fast_checker_.restore_from(r);
+  audit_enabled_ = r.boolean();
+  audit_capacity_ = r.u64();
+  audit_log_.clear();
+  const std::uint64_t records = r.u64();
+  for (std::uint64_t i = 0; i < records; ++i) {
+    ActionRecord record;
+    record.kind = static_cast<ActionRecord::Kind>(r.u8());
+    record.link = common::LinkId(r.u32());
+    record.loss_rate = r.f64();
+    record.detail = r.u64();
+    audit_log_.push_back(record);
+  }
+  // The optimizer's derived caches are keyed by the topology's state
+  // version; a restore can rewind the counter to a value already seen
+  // with a different enabled mask, so a stale hit here would corrupt the
+  // next run. Dropping them is free of observable effects: re-derivation
+  // is deterministic and touches no metrics.
+  optimizer_.drop_derived_state();
+}
+
 }  // namespace corropt::core

@@ -147,6 +147,16 @@ class Controller {
   // changes a decision. Pass nullptr to detach.
   void set_sink(obs::Sink* sink);
 
+  // Checkpointing (DESIGN.md §14): stats, the corruption set, the fast
+  // checker's path-count cache, and the audit trail. The optimizer's
+  // derived state (baseline counts, incremental caches) is not
+  // serialized — it is version-keyed against the topology and
+  // re-derives deterministically, producing identical decisions either
+  // way. Config, constraint and callback belong to the restoring
+  // context and are untouched.
+  void snapshot_to(common::snap::Writer& w) const;
+  void restore_from(common::snap::Reader& r);
+
  private:
   // Re-examines all active corrupting links with the mode's arrival
   // checker (switch-local and fast-checker-only modes).

@@ -51,6 +51,14 @@ std::vector<LinkId> CorruptionSet::active_in_detection_order(
   return out;
 }
 
+std::vector<LinkId> CorruptionSet::links_sorted() const {
+  std::vector<LinkId> out;
+  out.reserve(entries_.size());
+  for (const auto& [link, entry] : entries_) out.push_back(link);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
 double CorruptionSet::total_active_penalty(
     const topology::Topology& topo, const PenaltyFunction& penalty) const {
   if (penalty_cache_.valid && penalty_cache_.topo == &topo &&
@@ -58,13 +66,47 @@ double CorruptionSet::total_active_penalty(
       penalty_cache_.epoch == epoch_ && penalty_cache_.penalty == penalty) {
     return penalty_cache_.value;
   }
+  // Fold in link-id order: a floating-point sum in hash-map order would
+  // depend on the map's insert/erase history, which differs between a
+  // restored run and the fresh run it must match byte for byte.
   double total = 0.0;
-  for (const auto& [link, entry] : entries_) {
-    if (topo.is_enabled(link)) total += penalty(entry.rate);
+  for (LinkId link : links_sorted()) {
+    if (topo.is_enabled(link)) total += penalty(entries_.at(link).rate);
   }
   penalty_cache_ = PenaltyCache{true, &topo, topo.state_version(), epoch_,
                                 penalty, total};
   return total;
+}
+
+void CorruptionSet::snapshot_to(common::snap::Writer& w) const {
+  w.section(common::snap::tag('C', 'O', 'R', 'R'), 1);
+  w.u64(entries_.size());
+  for (LinkId link : links_sorted()) {
+    const Entry& entry = entries_.at(link);
+    w.u32(link.value());
+    w.f64(entry.rate);
+    w.u64(entry.detected_seq);
+  }
+  w.u64(next_seq_);
+  w.u64(epoch_);
+}
+
+void CorruptionSet::restore_from(common::snap::Reader& r) {
+  r.expect_section(common::snap::tag('C', 'O', 'R', 'R'));
+  entries_.clear();
+  const std::uint64_t count = r.u64();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const LinkId link(r.u32());
+    Entry entry;
+    entry.rate = r.f64();
+    entry.detected_seq = r.u64();
+    entries_.emplace(link, entry);
+  }
+  next_seq_ = r.u64();
+  epoch_ = r.u64();
+  // The memoized total holds a raw pointer to the source context's
+  // topology; never carry it across a restore.
+  penalty_cache_ = PenaltyCache{};
 }
 
 }  // namespace corropt::core

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/ids.h"
+#include "common/snapshot.h"
 #include "corropt/penalty.h"
 #include "topology/topology.h"
 
@@ -53,6 +54,13 @@ class CorruptionSet {
     return entries_;
   }
 
+  // All marked links (enabled or not) in increasing link-id order. Use
+  // this instead of iterating entries() wherever the visit order can
+  // reach an observable result (floating-point sums, suspect sets):
+  // hash-map order is a function of the map's insert/erase *history*,
+  // which a checkpoint restore cannot (and should not) reproduce.
+  [[nodiscard]] std::vector<LinkId> links_sorted() const;
+
   // Corrupting links that are still enabled (and hence incur penalty),
   // in increasing link-id order.
   [[nodiscard]] std::vector<LinkId> active(
@@ -70,6 +78,13 @@ class CorruptionSet {
   // entries_ rescan only runs when one of those keys moved.
   [[nodiscard]] double total_active_penalty(
       const topology::Topology& topo, const PenaltyFunction& penalty) const;
+
+  // Checkpointing (DESIGN.md §14): entries in link-id order plus the
+  // sequence and epoch counters. Restore drops the memoized penalty
+  // cache — it holds a raw Topology pointer from the *source* context,
+  // which must never leak into a branch (see the regression test).
+  void snapshot_to(common::snap::Writer& w) const;
+  void restore_from(common::snap::Reader& r);
 
  private:
   std::unordered_map<LinkId, Entry> entries_;

@@ -165,4 +165,20 @@ bool FastChecker::try_disable(common::LinkId link) {
   return true;
 }
 
+void FastChecker::snapshot_to(common::snap::Writer& w) const {
+  w.section(common::snap::tag('F', 'C', 'H', 'K'), 1);
+  w.boolean(cache_valid_);
+  w.u64(cached_version_);
+  w.u64(cached_counts_.size());
+  for (std::uint64_t count : cached_counts_) w.u64(count);
+}
+
+void FastChecker::restore_from(common::snap::Reader& r) {
+  r.expect_section(common::snap::tag('F', 'C', 'H', 'K'));
+  cache_valid_ = r.boolean();
+  cached_version_ = r.u64();
+  cached_counts_.resize(r.u64());
+  for (std::uint64_t& count : cached_counts_) count = r.u64();
+}
+
 }  // namespace corropt::core

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/ids.h"
+#include "common/snapshot.h"
 #include "corropt/capacity.h"
 #include "corropt/path_counter.h"
 #include "obs/sink.h"
@@ -74,6 +75,14 @@ class FastChecker {
   // or when the cache is cold; unnoted changes are still caught by the
   // state-version check and trigger a full refresh.
   void note_links_changed(std::span<const common::LinkId> links);
+
+  // Checkpointing (DESIGN.md §14): the path-count cache and its version
+  // key. Serialized faithfully — invalidating instead would make a
+  // restored run pay (and count, via fastcheck.cache_refreshes) an
+  // extra refresh the equivalent fresh run never performs, breaking
+  // registry-digest equivalence.
+  void snapshot_to(common::snap::Writer& w) const;
+  void restore_from(common::snap::Reader& r);
 
  private:
   struct ClosureResult {

@@ -166,6 +166,16 @@ void Optimizer::merge_baseline_violated() {
   baseline_violated_ = std::move(merged);
 }
 
+void Optimizer::drop_derived_state() {
+  baseline_counts_.clear();
+  baseline_violated_.clear();
+  baseline_version_ = 0;
+  pending_changed_.clear();
+  drift_ = false;
+  segment_cache_.clear();
+  if (incremental_) tracked_version_ = topo_->state_version();
+}
+
 void Optimizer::set_incremental(bool enabled) {
   if (enabled == incremental_) return;
   incremental_ = enabled;
@@ -641,13 +651,12 @@ OptimizerResult Optimizer::run_impl(const CorruptionSet& corruption) {
                                      candidates, *constraint_, scratch_paths_,
                                      sweep_scratch_);
     if (endangered.empty()) {
-      // The full set is feasible: disable everything. Sum the penalty
-      // off the corruption entries directly (one map pass, no per-link
-      // lookups) before flipping the links.
-      for (const auto& [link, entry] : corruption.entries()) {
-        if (topo_->is_enabled(link)) {
-          result.disabled_penalty += penalty_(entry.rate);
-        }
+      // The full set is feasible: disable everything. `candidates` is
+      // the id-sorted active set, so summing over it keeps the
+      // floating-point fold order independent of the corruption map's
+      // insert/erase history (checkpoint restores rebuild that map).
+      for (LinkId link : candidates) {
+        result.disabled_penalty += penalty_(corruption.rate(link));
       }
       for (LinkId link : candidates) topo_->set_enabled(link, false);
       result.disabled = candidates;

@@ -171,6 +171,15 @@ class Optimizer {
     return inc_stats_;
   }
 
+  // Drops all derived state (baseline path counts, incremental caches).
+  // Called on checkpoint restore (DESIGN.md §14): the caches are keyed
+  // by the topology's state version, and a restore can rewind the
+  // version counter to a value this optimizer already saw with a
+  // *different* enabled mask — a stale hit would silently corrupt the
+  // next run. Re-derivation is deterministic and touches no metrics, so
+  // dropping keeps branch runs bit-identical to fresh ones.
+  void drop_derived_state();
+
  private:
   OptimizerResult run_impl(const CorruptionSet& corruption);
 

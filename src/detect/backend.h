@@ -30,6 +30,7 @@
 
 #include "common/ids.h"
 #include "common/rng.h"
+#include "common/snapshot.h"
 #include "common/time.h"
 #include "detect/config.h"
 #include "obs/sink.h"
@@ -87,6 +88,15 @@ class DetectionBackend {
   // this at the same point the pre-seam pipeline attached its monitor
   // and detector.
   virtual void attach_sink(obs::Sink* sink) = 0;
+
+  // Checkpointing (DESIGN.md §14): the backend's accumulated evidence —
+  // windows, votes, sketch deltas, beliefs, cycle counters. The payload
+  // is framed as a blob by the caller (sim::DetectionPipeline) so a
+  // branch running a *different* backend kind can skip it unread; a
+  // same-kind restore must target a backend built from the same
+  // topology (vector sizes are guards).
+  virtual void snapshot_to(common::snap::Writer& w) const = 0;
+  virtual void restore_from(common::snap::Reader& r) = 0;
 };
 
 // Builds the backend selected by `config.kind`. `detector` carries the

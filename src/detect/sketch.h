@@ -39,6 +39,12 @@ class SketchBackend final : public DetectionBackend {
   void reset(common::LinkId link) override;
   void attach_sink(obs::Sink* sink) override;
 
+  // Checkpoints the cycle counter, per-switch sketch contents, the
+  // window's exact insertion totals and dirty set, and the per-link
+  // persistence/belief state.
+  void snapshot_to(common::snap::Writer& w) const override;
+  void restore_from(common::snap::Reader& r) override;
+
  private:
   // Row-r cell index of a direction in its switch's sketch.
   [[nodiscard]] std::size_t cell(common::DirectionId dir,

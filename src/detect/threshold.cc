@@ -32,4 +32,14 @@ void ThresholdBackend::attach_sink(obs::Sink* sink) {
   detector_.set_sink(sink);
 }
 
+void ThresholdBackend::snapshot_to(common::snap::Writer& w) const {
+  w.section(common::snap::tag('T', 'H', 'R', 'B'), 1);
+  detector_.snapshot_to(w);
+}
+
+void ThresholdBackend::restore_from(common::snap::Reader& r) {
+  r.expect_section(common::snap::tag('T', 'H', 'R', 'B'));
+  detector_.restore_from(r);
+}
+
 }  // namespace corropt::detect

@@ -31,6 +31,12 @@ class ThresholdBackend final : public DetectionBackend {
   void reset(common::LinkId link) override;
   void attach_sink(obs::Sink* sink) override;
 
+  // The monitor is stateless (its counters live in NetworkState and its
+  // draws come from the shared sim stream, both serialized elsewhere);
+  // only the detector's windows/estimates/alerts need the checkpoint.
+  void snapshot_to(common::snap::Writer& w) const override;
+  void restore_from(common::snap::Reader& r) override;
+
  private:
   telemetry::PollingMonitor monitor_;
   telemetry::CorruptionDetector detector_;

@@ -36,6 +36,12 @@ class VotingBackend final : public DetectionBackend {
   void reset(common::LinkId link) override;
   void attach_sink(obs::Sink* sink) override;
 
+  // Checkpoints the cycle counter (which keys every CounterRng draw),
+  // the window accumulators and the belief flags; reach_/tor_index_ are
+  // structural and rebuilt at construction.
+  void snapshot_to(common::snap::Writer& w) const override;
+  void restore_from(common::snap::Reader& r) override;
+
  private:
   // Synthesizes one flow's path; returns false when the pair is
   // unroutable (src == dst, or disabled links cut every choice).

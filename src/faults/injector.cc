@@ -78,7 +78,72 @@ std::vector<const Fault*> FaultInjector::active_faults() const {
   std::vector<const Fault*> out;
   out.reserve(active_.size());
   for (const auto& [id, fault] : active_) out.push_back(&fault);
+  std::sort(out.begin(), out.end(),
+            [](const Fault* a, const Fault* b) { return a->id < b->id; });
   return out;
+}
+
+void FaultInjector::snapshot_to(common::snap::Writer& w) const {
+  w.section(common::snap::tag('F', 'L', 'T', 'S'), 1);
+  w.u64(active_.size());
+  for (const Fault* fault : active_faults()) {
+    w.u32(fault->id.value());
+    w.u8(static_cast<std::uint8_t>(fault->cause));
+    w.u64(fault->links.size());
+    for (LinkId link : fault->links) w.u32(link.value());
+    w.u64(fault->effects.size());
+    for (const DirectionEffect& e : fault->effects) {
+      w.u32(e.direction.value());
+      w.f64(e.extra_attenuation_db);
+      w.f64(e.tx_power_delta_db);
+      w.f64(e.tx_decay_db_per_day);
+      w.f64(e.corruption_rate);
+    }
+    w.u64(fault->fixing_actions.size());
+    for (RepairAction action : fault->fixing_actions) {
+      w.u8(static_cast<std::uint8_t>(action));
+    }
+    w.i64(fault->onset);
+  }
+  w.u64(next_id_);
+  w.i64(now_);
+}
+
+void FaultInjector::restore_from(common::snap::Reader& r) {
+  r.expect_section(common::snap::tag('F', 'L', 'T', 'S'));
+  active_.clear();
+  by_direction_.clear();
+  const std::uint64_t count = r.u64();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Fault fault;
+    fault.id = FaultId(r.u32());
+    fault.cause = static_cast<RootCause>(r.u8());
+    fault.links.resize(r.u64());
+    for (LinkId& link : fault.links) link = LinkId(r.u32());
+    fault.effects.resize(r.u64());
+    for (DirectionEffect& e : fault.effects) {
+      e.direction = DirectionId(r.u32());
+      e.extra_attenuation_db = r.f64();
+      e.tx_power_delta_db = r.f64();
+      e.tx_decay_db_per_day = r.f64();
+      e.corruption_rate = r.f64();
+    }
+    fault.fixing_actions.resize(r.u64());
+    for (RepairAction& action : fault.fixing_actions) {
+      action = static_cast<RepairAction>(r.u8());
+    }
+    fault.onset = r.i64();
+    // Faults arrive in id order, which is injection order, so the
+    // rebuilt per-direction lists match the live ones exactly.
+    for (const DirectionEffect& e : fault.effects) {
+      by_direction_[e.direction].push_back(fault.id);
+    }
+    active_.emplace(fault.id, std::move(fault));
+  }
+  next_id_ = static_cast<common::FaultId::underlying_type>(r.u64());
+  now_ = r.i64();
+  // NetworkState restores the physical arrays bit-exactly itself; no
+  // rebuild_direction here (a recompute could round differently).
 }
 
 void FaultInjector::rebuild_direction(DirectionId dir) {

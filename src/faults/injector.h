@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/ids.h"
+#include "common/snapshot.h"
 #include "common/time.h"
 #include "faults/fault.h"
 #include "telemetry/network_state.h"
@@ -42,8 +43,20 @@ class FaultInjector {
   [[nodiscard]] std::size_t active_fault_count() const {
     return active_.size();
   }
-  // All active faults, in unspecified order.
+  // All active faults, in increasing fault-id (== injection) order.
+  // The order is load-bearing: the penalty accountant folds these
+  // faults' links into a floating-point sum and the detection pipeline
+  // builds its suspect set from them, so an unspecified (hash-map)
+  // order would make results depend on container history — exactly the
+  // hidden state a checkpoint restore cannot reproduce.
   [[nodiscard]] std::vector<const Fault*> active_faults() const;
+
+  // Checkpointing (DESIGN.md §14): active faults (id order), the id
+  // counter and the decay clock. `by_direction_` is rebuilt (id order ==
+  // injection order, which erase preserves); the physical state arrays
+  // are NetworkState's to serialize, so restore does not rebuild them.
+  void snapshot_to(common::snap::Writer& w) const;
+  void restore_from(common::snap::Reader& r);
 
  private:
   // Recomputes the physical state of one direction from scratch by

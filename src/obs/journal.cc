@@ -131,6 +131,25 @@ void EventJournal::write_jsonl(std::ostream& out) const {
   }
 }
 
+void EventJournal::restore(const std::vector<Event>& events,
+                           std::uint64_t next_seq, std::uint64_t dropped) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  head_ = 0;
+  if (events.size() <= capacity_) {
+    ring_ = events;
+  } else {
+    // This journal is smaller than the one that produced the snapshot:
+    // keep the newest `capacity_` records, count the rest as evicted,
+    // exactly as if they had been appended in order.
+    ring_.assign(events.end() - static_cast<std::ptrdiff_t>(capacity_),
+                 events.end());
+    dropped += events.size() - capacity_;
+  }
+  next_seq_ = next_seq;
+  dropped_ = dropped;
+}
+
 void EventJournal::clear() {
   std::lock_guard<std::mutex> lock(mu_);
   ring_.clear();

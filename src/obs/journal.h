@@ -137,6 +137,13 @@ class EventJournal {
 
   void clear();
 
+  // Checkpointing (DESIGN.md §14): replaces the journal's contents with
+  // a previously captured state. `events` must be in sequence order (a
+  // snapshot()); only the newest `capacity` of them are retained, exactly
+  // as if they had been appended in order.
+  void restore(const std::vector<Event>& events, std::uint64_t next_seq,
+               std::uint64_t dropped);
+
  private:
   const std::size_t capacity_;
   mutable std::mutex mu_;

@@ -146,6 +146,125 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
   return snap;
 }
 
+void MetricsRegistry::restore(const MetricsSnapshot& snap) {
+  std::lock_guard<std::mutex> lock(mu_);
+
+  const auto set_counter = [](detail::CounterEntry& entry, std::uint64_t v) {
+    entry.cells[0].value.store(v, std::memory_order_relaxed);
+    for (std::size_t s = 1; s < kMetricShards; ++s) {
+      entry.cells[s].value.store(0, std::memory_order_relaxed);
+    }
+  };
+  const auto set_histogram = [](detail::HistogramEntry& entry,
+                                const MetricsSnapshot::HistogramValue& v) {
+    if (entry.bounds != v.bounds) {
+      throw std::logic_error("obs histogram '" + entry.name +
+                             "': restore with different bounds");
+    }
+    const std::size_t stride = entry.bounds.size() + 1;
+    for (std::size_t shard = 0; shard < kMetricShards; ++shard) {
+      for (std::size_t bucket = 0; bucket < stride; ++bucket) {
+        entry.counts[shard * stride + bucket].value.store(
+            shard == 0 ? v.counts[bucket] : 0, std::memory_order_relaxed);
+      }
+      entry.sums[shard].store(shard == 0 ? v.sum : 0.0,
+                              std::memory_order_relaxed);
+    }
+  };
+
+  // Pass 1: overwrite or (when nonzero) create every snapshot entry.
+  for (const MetricsSnapshot::CounterValue& c : snap.counters) {
+    const auto it = index_.find(c.name);
+    if (it != index_.end()) {
+      if (it->second.first != Kind::kCounter) {
+        throw std::logic_error("obs metric '" + c.name +
+                               "' restored with a different kind");
+      }
+      set_counter(counters_[it->second.second], c.value);
+    } else if (c.value != 0) {
+      counters_.emplace_back();
+      counters_.back().name = c.name;
+      set_counter(counters_.back(), c.value);
+      index_.emplace(c.name,
+                     std::make_pair(Kind::kCounter, counters_.size() - 1));
+    }
+  }
+  for (const MetricsSnapshot::GaugeValue& g : snap.gauges) {
+    const auto it = index_.find(g.name);
+    if (it != index_.end()) {
+      if (it->second.first != Kind::kGauge) {
+        throw std::logic_error("obs metric '" + g.name +
+                               "' restored with a different kind");
+      }
+      gauges_[it->second.second].value.store(g.value,
+                                             std::memory_order_relaxed);
+    } else if (g.value != 0.0) {
+      gauges_.emplace_back();
+      gauges_.back().name = g.name;
+      gauges_.back().value.store(g.value, std::memory_order_relaxed);
+      index_.emplace(g.name, std::make_pair(Kind::kGauge, gauges_.size() - 1));
+    }
+  }
+  for (const MetricsSnapshot::HistogramValue& h : snap.histograms) {
+    const auto it = index_.find(h.name);
+    if (it != index_.end()) {
+      if (it->second.first != Kind::kHistogram) {
+        throw std::logic_error("obs metric '" + h.name +
+                               "' restored with a different kind");
+      }
+      set_histogram(histograms_[it->second.second], h);
+    } else if (h.count != 0) {
+      histograms_.emplace_back();
+      detail::HistogramEntry& entry = histograms_.back();
+      entry.name = h.name;
+      entry.is_timer = false;
+      entry.bounds = h.bounds;
+      entry.counts = std::vector<detail::ShardCell>(
+          kMetricShards * (entry.bounds.size() + 1));
+      set_histogram(entry, h);
+      index_.emplace(h.name,
+                     std::make_pair(Kind::kHistogram, histograms_.size() - 1));
+    }
+  }
+
+  // Pass 2: zero entries registered here that the snapshot does not
+  // mention (the snapshot may come from a branch point before this
+  // registry's later registrations — their counts had not happened yet).
+  const auto in_counters = [&snap](const std::string& name) {
+    for (const auto& c : snap.counters) {
+      if (c.name == name) return true;
+    }
+    return false;
+  };
+  const auto in_gauges = [&snap](const std::string& name) {
+    for (const auto& g : snap.gauges) {
+      if (g.name == name) return true;
+    }
+    return false;
+  };
+  const auto in_histograms = [&snap](const std::string& name) {
+    for (const auto& h : snap.histograms) {
+      if (h.name == name) return true;
+    }
+    return false;
+  };
+  for (detail::CounterEntry& entry : counters_) {
+    if (!in_counters(entry.name)) set_counter(entry, 0);
+  }
+  for (detail::GaugeEntry& entry : gauges_) {
+    if (!in_gauges(entry.name)) {
+      entry.value.store(0.0, std::memory_order_relaxed);
+    }
+  }
+  for (detail::HistogramEntry& entry : histograms_) {
+    if (entry.is_timer || in_histograms(entry.name)) continue;
+    MetricsSnapshot::HistogramValue zero;
+    zero.bounds = entry.bounds;
+    zero.counts.assign(entry.bounds.size() + 1, 0);
+    set_histogram(entry, zero);
+  }
+}
+
 namespace {
 
 void write_histogram_section(

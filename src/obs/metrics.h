@@ -196,6 +196,17 @@ class MetricsRegistry {
                   const std::string& generator,
                   const std::string& scenario = "all") const;
 
+  // Checkpointing (DESIGN.md §14): overwrites current values from a
+  // previously captured snapshot. Existing entries are set exactly (the
+  // value folds into shard 0, other shards zeroed); entries in `snap`
+  // that were never registered here are created only when they carry a
+  // nonzero value, so a same-config branch keeps a registration order
+  // (and therefore snapshot order) identical to a fresh run, while a
+  // cross-backend counterfactual still carries over the prefix's counts.
+  // Entries registered here but absent from `snap` are zeroed. Timers
+  // are left untouched: wall time is outside the determinism contract.
+  void restore(const MetricsSnapshot& snap);
+
  private:
   enum class Kind { kCounter, kGauge, kHistogram };
 

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/ids.h"
+#include "common/snapshot.h"
 #include "common/time.h"
 #include "faults/repair_action.h"
 
@@ -60,6 +61,16 @@ class TicketQueue {
 
   [[nodiscard]] std::size_t open_count() const { return open_.size(); }
   [[nodiscard]] std::size_t total_issued() const { return next_id_; }
+
+  // Checkpointing (DESIGN.md §14): open tickets (id order), the crew
+  // schedule and the id counter. `params_` stays the restoring queue's
+  // own configuration; when its crew size differs from the serialized
+  // schedule (a counterfactual crew-capacity branch), the schedule is
+  // reconciled: grown crews gain immediately-free technicians, shrunk
+  // crews keep the busiest (latest-free) ones, so in-flight tickets
+  // never lose their completion times.
+  void snapshot_to(common::snap::Writer& w) const;
+  void restore_from(common::snap::Reader& r);
 
  private:
   TicketQueueParams params_;

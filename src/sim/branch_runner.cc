@@ -1,0 +1,55 @@
+#include "sim/branch_runner.h"
+
+#include <utility>
+
+namespace corropt::sim {
+
+Checkpoint BranchRunner::checkpoint_base(
+    const ScenarioConfig& config, const std::vector<trace::TraceEvent>& events,
+    const StopPredicate& stop) const {
+  topology::Topology topo = factory_();
+  MitigationSimulation sim(topo, config);
+  sim.begin_run(events);
+  while (!sim.finished()) {
+    if (stop(sim)) return sim.snapshot();
+    if (!sim.step()) break;
+  }
+  // The base ran out before the predicate fired: nothing to branch from.
+  (void)sim.finish_run();
+  return Checkpoint{};
+}
+
+Checkpoint BranchRunner::checkpoint_at_step(
+    const ScenarioConfig& config, const std::vector<trace::TraceEvent>& events,
+    std::uint64_t k) const {
+  return checkpoint_base(config, events,
+                         [k](const MitigationSimulation& sim) {
+                           return sim.steps() >= k;
+                         });
+}
+
+std::vector<BranchResult> BranchRunner::run(
+    const Checkpoint& base, const std::vector<BranchSpec>& branches,
+    common::ThreadPool& pool) const {
+  std::vector<BranchResult> results(branches.size());
+  common::parallel_for_each(pool, branches.size(), [&](std::size_t i) {
+    const BranchSpec& spec = branches[i];
+    topology::Topology topo = factory_();
+    MitigationSimulation sim(topo, spec.config);
+    sim.restore_run(*spec.events, base);
+    while (sim.step()) {
+    }
+    results[i] = BranchResult{spec.name, sim.finish_run()};
+  });
+  return results;
+}
+
+SimulationMetrics BranchRunner::run_fresh(
+    const ScenarioConfig& config,
+    const std::vector<trace::TraceEvent>& events) const {
+  topology::Topology topo = factory_();
+  MitigationSimulation sim(topo, config);
+  return sim.run(events);
+}
+
+}  // namespace corropt::sim

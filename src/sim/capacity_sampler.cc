@@ -59,4 +59,14 @@ void CapacitySampler::finalize(SimulationMetrics& metrics) const {
   }
 }
 
+void CapacitySampler::snapshot_to(common::snap::Writer& w) const {
+  w.section(common::snap::tag('C', 'S', 'M', 'P'), 1);
+  w.u64(samples_);
+}
+
+void CapacitySampler::restore_from(common::snap::Reader& r) {
+  r.expect_section(common::snap::tag('C', 'S', 'M', 'P'));
+  samples_ = static_cast<std::size_t>(r.u64());
+}
+
 }  // namespace corropt::sim

@@ -25,6 +25,11 @@ class CapacitySampler {
   // mean ToR fraction; call at end of run.
   void finalize(SimulationMetrics& metrics) const;
 
+  // Checkpointing (DESIGN.md §14): the sample count (the divisor of the
+  // finalized time average).
+  void snapshot_to(common::snap::Writer& w) const;
+  void restore_from(common::snap::Reader& r);
+
  private:
   void handle_sample(const Event& event);
 

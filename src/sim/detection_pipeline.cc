@@ -164,7 +164,7 @@ void DetectionPipeline::handle_poll(const Event& event) {
   for (const faults::Fault* fault : ctx_.injector.active_faults()) {
     for (common::LinkId link : fault->links) add(link);
   }
-  for (const auto& [link, entry] : ctx_.controller.corruption().entries()) {
+  for (common::LinkId link : ctx_.controller.corruption().links_sorted()) {
     add(link);
   }
   for (const auto& [link, onset] : pending_detection_) add(link);
@@ -194,6 +194,39 @@ void DetectionPipeline::handle_poll(const Event& event) {
   Event next = event;
   next.due = event.due + common::kPollInterval;
   ctx_.queue.schedule(next);
+}
+
+void DetectionPipeline::snapshot_to(common::snap::Writer& w) const {
+  w.section(common::snap::tag('D', 'P', 'I', 'P'), 1);
+  w.u64(pending_detection_.size());
+  for (const auto& [link, onset] : pending_detection_) {
+    w.u32(link.value());
+    w.i64(onset);
+  }
+  w.u8(static_cast<std::uint8_t>(backend_->kind()));
+  common::snap::Writer payload;
+  backend_->snapshot_to(payload);
+  const std::string bytes = payload.take();
+  w.blob(bytes);
+}
+
+void DetectionPipeline::restore_from(common::snap::Reader& r) {
+  r.expect_section(common::snap::tag('D', 'P', 'I', 'P'));
+  pending_detection_.clear();
+  const std::uint64_t pending = r.u64();
+  for (std::uint64_t i = 0; i < pending; ++i) {
+    const common::LinkId link(r.u32());
+    const SimTime onset = r.i64();
+    pending_detection_.emplace(link, onset);
+  }
+  const auto kind = static_cast<detect::BackendKind>(r.u8());
+  const std::string_view payload = r.blob();
+  if (kind == backend_->kind()) {
+    common::snap::Reader backend_reader(payload);
+    backend_->restore_from(backend_reader);
+  }
+  // Different kind: the counterfactual backend keeps its fresh state;
+  // there is no meaningful translation between evidence formats.
 }
 
 }  // namespace corropt::sim

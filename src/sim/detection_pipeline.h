@@ -11,8 +11,8 @@
 // and feeds its verdicts to the controller with realistic latency.
 #pragma once
 
+#include <map>
 #include <memory>
-#include <unordered_map>
 
 #include "common/ids.h"
 #include "detect/backend.h"
@@ -66,6 +66,15 @@ class DetectionPipeline {
     return *backend_;
   }
 
+  // Checkpointing (DESIGN.md §14): the pending-detection books plus the
+  // backend's private state, framed as a blob tagged with the backend
+  // kind. A restore into a pipeline running a *different* backend kind
+  // skips the payload unread (the counterfactual backend starts with
+  // fresh evidence — there is no meaningful translation between, say,
+  // sketch deltas and vote tallies).
+  void snapshot_to(common::snap::Writer& w) const;
+  void restore_from(common::snap::Reader& r);
+
  private:
   // One 15-minute cycle: builds the suspect set, runs the backend, and
   // sweeps pending entries whose fault vanished undetected.
@@ -80,8 +89,12 @@ class DetectionPipeline {
   // detect.* counters and kDetectionVerdict journal records are live.
   bool obs_detail_ = false;
   // Onset time of the oldest unobserved fault per link, for latency
-  // accounting. Links without pending detection are absent.
-  std::unordered_map<common::LinkId, SimTime> pending_detection_;
+  // accounting. Links without pending detection are absent. Ordered:
+  // handle_poll folds this map into the suspect set, so its iteration
+  // order is behavior (it decides backend evaluation order) and must be
+  // a function of the *contents*, not of container history — a
+  // checkpoint restore rebuilds the map by insertion.
+  std::map<common::LinkId, SimTime> pending_detection_;
 
   obs::Counter obs_verdicts_;
   obs::Counter obs_clears_;

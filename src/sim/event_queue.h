@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "common/ids.h"
+#include "common/snapshot.h"
 #include "common/time.h"
 #include "obs/sink.h"
 
@@ -108,6 +109,21 @@ class EventQueue {
   // Invokes the handler registered for the event's type.
   void dispatch(const Event& event) const;
 
+  // Checkpointing (DESIGN.md §14): pending entries are serialized in raw
+  // heap-array order and restored verbatim. That is sound because pop
+  // order depends only on the strict total order (due, stratum, seq) —
+  // never on array layout — so the restored queue pops the exact same
+  // sequence. Handlers are not serialized; they belong to the restoring
+  // simulation's components.
+  void snapshot_to(common::snap::Writer& w) const;
+  void restore_from(common::snap::Reader& r);
+
+  // Removes every pending event of `type` (used by restore
+  // reconciliation, e.g. re-deriving the trace cursor's kFault).
+  void drop_events(EventType type);
+  // Any pending event of `type`?
+  [[nodiscard]] bool has_event(EventType type) const;
+
  private:
   struct Entry {
     Event event;
@@ -140,6 +156,10 @@ class Clock {
 
   // Monotonic: `t` must not precede the current time.
   void advance_to(SimTime t);
+
+  // Checkpoint restore: jumps the clock (either direction) and forwards
+  // the new time to the attached sink.
+  void restore_now(SimTime t);
 
  private:
   SimTime now_ = 0;

@@ -31,6 +31,12 @@ class MaintenanceModel {
   // and the healthy siblings come back.
   void end(common::LinkId link);
 
+  // Checkpointing (DESIGN.md §14): the collateral bookkeeping, in
+  // link-id order (the map is only ever accessed by key, so insertion
+  // order is not behavior; sorting keeps checkpoint bytes canonical).
+  void snapshot_to(common::snap::Writer& w) const;
+  void restore_from(common::snap::Reader& r);
+
  private:
   void start(common::LinkId link);
 

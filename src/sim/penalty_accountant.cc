@@ -61,4 +61,14 @@ void PenaltyAccountant::record_sample() {
   ctx_.emit(event);
 }
 
+void PenaltyAccountant::snapshot_to(common::snap::Writer& w) const {
+  w.section(common::snap::tag('P', 'N', 'L', 'T'), 1);
+  w.f64(penalty_rate_);
+}
+
+void PenaltyAccountant::restore_from(common::snap::Reader& r) {
+  r.expect_section(common::snap::tag('P', 'N', 'L', 'T'));
+  penalty_rate_ = r.f64();
+}
+
 }  // namespace corropt::sim

@@ -28,6 +28,10 @@ class PenaltyAccountant {
   // Appends the current rate to the penalty series and journals it.
   void record_sample();
 
+  // Checkpointing (DESIGN.md §14): the current step-function rate.
+  void snapshot_to(common::snap::Writer& w) const;
+  void restore_from(common::snap::Reader& r);
+
  private:
   [[nodiscard]] double true_penalty_rate();
 

@@ -36,6 +36,12 @@ class RepairPipeline {
   // Finalizes the mean ticket resolution time; call at end of run.
   void finalize(SimulationMetrics& metrics) const;
 
+  // Checkpointing (DESIGN.md §14): attempt/reseat history, the
+  // resolution-time accumulator, and the ticket queue (which reconciles
+  // the crew schedule when the restoring scenario staffs differently).
+  void snapshot_to(common::snap::Writer& w) const;
+  void restore_from(common::snap::Reader& r);
+
  private:
   void handle_repair(const Event& event);
   void handle_redetect(const Event& event);

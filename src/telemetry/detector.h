@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/ids.h"
+#include "common/snapshot.h"
 #include "common/time.h"
 #include "obs/sink.h"
 #include "telemetry/monitor.h"
@@ -74,6 +75,11 @@ class CorruptionDetector {
   // Attaches observability: "telemetry.detections" / "telemetry.clears"
   // count verdict flips. Pass nullptr to detach.
   void set_sink(obs::Sink* sink);
+
+  // Checkpointing (DESIGN.md §14): per-direction accumulation windows
+  // and estimates plus the per-link alert state.
+  void snapshot_to(common::snap::Writer& w) const;
+  void restore_from(common::snap::Reader& r);
 
  private:
   struct Window {

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/ids.h"
+#include "common/snapshot.h"
 #include "telemetry/optical.h"
 #include "topology/topology.h"
 
@@ -159,6 +160,12 @@ class NetworkState {
                                         double threshold = 1e-8) const {
     return link_corruption_rate(id) >= threshold;
   }
+
+  // Checkpointing (DESIGN.md §14): the six flat per-direction arrays,
+  // bit-exact. The direction count is a guard against restoring into a
+  // state built from a different topology.
+  void snapshot_to(common::snap::Writer& w) const;
+  void restore_from(common::snap::Reader& r);
 
  private:
   const topology::Topology* topo_;

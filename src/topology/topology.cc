@@ -153,4 +153,30 @@ void Topology::validate() const {
   }
 }
 
+void Topology::snapshot_to(common::snap::Writer& w) const {
+  w.section(common::snap::tag('T', 'O', 'P', 'O'), 1);
+  w.u64(links_.size());
+  for (std::uint64_t word : enabled_mask_.words()) w.u64(word);
+  w.u64(enabled_links_);
+  w.u64(version_);
+}
+
+void Topology::restore_from(common::snap::Reader& r) {
+  r.expect_section(common::snap::tag('T', 'O', 'P', 'O'));
+  const std::uint64_t links = r.u64();
+  if (links != links_.size()) {
+    common::snap::fail("topology link count mismatch");
+  }
+  const std::size_t words = enabled_mask_.words().size();
+  std::size_t bit = 0;
+  for (std::size_t wi = 0; wi < words; ++wi) {
+    const std::uint64_t word = r.u64();
+    for (; bit < links_.size() && bit < (wi + 1) * 64; ++bit) {
+      enabled_mask_.set(bit, ((word >> (bit % 64)) & 1) != 0);
+    }
+  }
+  enabled_links_ = r.u64();
+  version_ = r.u64();
+}
+
 }  // namespace corropt::topology

@@ -18,6 +18,7 @@
 
 #include "common/bitset.h"
 #include "common/ids.h"
+#include "common/snapshot.h"
 
 namespace corropt::topology {
 
@@ -134,6 +135,17 @@ class Topology {
   // consumers (e.g. the fast checker's path-count cache) use it to
   // detect staleness.
   [[nodiscard]] std::uint64_t state_version() const { return version_; }
+
+  // --- checkpointing (DESIGN.md §14) ---------------------------------
+  // Serializes the dynamic link state: the enabled bitset, the enabled
+  // count, and the monotonic state version (restored faithfully so that
+  // version-keyed caches — the fast checker's path counts, the
+  // optimizer's baseline — stay coherent across a restore). Structure
+  // (switches, links, breakout groups) is not serialized: restore
+  // targets a topology rebuilt by the same factory, guarded by the
+  // link count.
+  void snapshot_to(common::snap::Writer& w) const;
+  void restore_from(common::snap::Reader& r);
 
   // --- direction helpers ----------------------------------------------
   // Switch transmitting on this direction.

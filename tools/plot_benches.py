@@ -37,7 +37,8 @@ def parse_csv_capture(path, rows):
 def load_metrics_json(path):
     with open(path) as handle:
         doc = json.load(handle)
-    if doc.get("schema") != "corropt-bench-metrics/1":
+    if doc.get("schema") not in ("corropt-bench-metrics/1",
+                                 "corropt-whatif/1"):
         raise ValueError(f"{path}: unknown schema {doc.get('schema')!r}")
     return doc
 
@@ -77,6 +78,18 @@ def absorb_json(doc, rows):
     """Converts a metrics document into the same row shapes the csv
     capture produces, so the plotting code below has one input format."""
     exhibit = doc["exhibit"]
+    if doc.get("schema") == "corropt-whatif/1":
+        # One row per document: wall clocks for the prefix-reuse speedup
+        # bar, plus the branch count / fraction for the annotation.
+        rows["whatif"].append([
+            repr(doc["prefix_wall_s"]),
+            repr(doc["branched_wall_s"]),
+            repr(doc["fresh_wall_s"]),
+            repr(doc["speedup"]),
+            str(doc["branches"]),
+            repr(doc["branch_fraction"]),
+        ])
+        return
     if exhibit == "fig17":
         for (dcn, constraint), pair in scenarios_by_tags(
                 doc, "dcn", "constraint").items():
@@ -441,6 +454,33 @@ def main():
         ax.set_ylabel("integrated-penalty delta vs threshold (%)")
         ax.set_title("Detection backends: FP rate vs end-to-end penalty")
         save(fig, "detection_fp_vs_penalty.png")
+
+    if "whatif" in rows:
+        # Prefix-reuse speedup (DESIGN.md §14): fresh wall clock vs the
+        # shared-prefix + branches stack, annotated with the measured
+        # speedup. One bar pair per BENCH_whatif.json input.
+        fig, ax = plt.subplots()
+        width = 0.35
+        for i, r in enumerate(rows["whatif"]):
+            prefix, branched, fresh = float(r[0]), float(r[1]), float(r[2])
+            speedup, branches = float(r[3]), int(r[4])
+            ax.bar(i - width / 2, fresh, width, color="C3",
+                   label="fresh (N full runs)" if i == 0 else None)
+            ax.bar(i + width / 2, prefix, width, color="C0",
+                   label="shared prefix" if i == 0 else None)
+            ax.bar(i + width / 2, branched, width, bottom=prefix,
+                   color="C2", label="branches" if i == 0 else None)
+            ax.annotate(f"{speedup:.1f}x\n({branches} branches)",
+                        (i + width / 2, prefix + branched),
+                        ha="center", va="bottom", fontsize=8)
+        ax.set_xticks(range(len(rows["whatif"])))
+        ax.set_xticklabels([f"run {i}" for i in
+                            range(len(rows["whatif"]))])
+        ax.set_ylabel("wall clock (s)")
+        ax.set_title("What-if sweep: fresh vs checkpoint-branched "
+                     "execution")
+        ax.legend(fontsize=8)
+        save(fig, "whatif_speedup.png")
 
     if "fleet" in rows:
         # Per-DC integrated penalty, sorted descending, colored by shape,
